@@ -1,0 +1,1 @@
+bench/exp_abl.ml: Coherent Config Counters Exp_common List Platinum_core Platinum_workload Printf Runner String

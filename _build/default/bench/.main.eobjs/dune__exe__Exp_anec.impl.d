@@ -1,0 +1,1 @@
+bench/exp_anec.ml: Config Exp_common List Platinum_sim Platinum_stats Platinum_workload Printf Runner String

@@ -1,0 +1,1 @@
+bench/exp_arch.ml: Array Coherent Config Counters Exp_common List Platinum_analysis Platinum_core Platinum_kernel Platinum_machine Platinum_workload Printf Runner String

@@ -1,0 +1,1 @@
+bench/exp_bechamel.ml: Analyze Bechamel Benchmark Exp_common Hashtbl Instance Int Measure Platinum_core Platinum_machine Platinum_sim Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Config Exp_common List Platinum_workload Printf

@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Exp_common Format List Platinum_core Printf

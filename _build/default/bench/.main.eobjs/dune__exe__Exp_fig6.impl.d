@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Exp_common List Platinum_stats Platinum_workload Printf Runner

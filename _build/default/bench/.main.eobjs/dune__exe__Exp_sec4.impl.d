@@ -1,0 +1,1 @@
+bench/exp_sec4.ml: Coherent Config Exp_common List Platinum_core Platinum_machine Platinum_sim Printf String

@@ -1,0 +1,1 @@
+bench/exp_tab1.ml: Exp_common List Platinum_analysis Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Exp_abl Exp_anec Exp_arch Exp_bechamel Exp_common Exp_fig1 Exp_fig4 Exp_fig5 Exp_fig6 Exp_sec4 Exp_tab1 List Printf Sys Term

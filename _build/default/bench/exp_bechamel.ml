@@ -1,0 +1,87 @@
+(* Host-performance micro-benchmarks (Bechamel) of the simulator's hot
+   paths.  These measure the OCaml implementation itself — how fast the
+   event queue, processor sets, and the coherent fault path run on the
+   host — which bounds how large a simulated machine/problem is practical. *)
+
+open Bechamel
+open Toolkit
+module Engine = Platinum_sim.Engine
+module Heap = Platinum_sim.Heap
+module Rng = Platinum_sim.Rng
+module Procset = Platinum_machine.Procset
+module Config = Platinum_machine.Config
+module Machine = Platinum_machine.Machine
+module Rights = Platinum_core.Rights
+module Policy = Platinum_core.Policy
+module Coherent = Platinum_core.Coherent
+
+module IH = Heap.Make (Int)
+
+let test_heap =
+  Test.make ~name:"heap: 64 insert + drain"
+    (Staged.stage (fun () ->
+         let h = ref IH.empty in
+         for i = 63 downto 0 do
+           h := IH.insert i i !h
+         done;
+         let rec drain h = match IH.delete_min h with None -> () | Some (_, h) -> drain h in
+         drain !h))
+
+let test_engine =
+  Test.make ~name:"engine: schedule + run 64 events"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         for i = 1 to 64 do
+           Engine.schedule_at e ~at:i (fun () -> ())
+         done;
+         Engine.run e))
+
+let test_rng =
+  let r = Rng.create 1L in
+  Test.make ~name:"rng: int draw" (Staged.stage (fun () -> ignore (Rng.int r 1000)))
+
+let test_procset =
+  Test.make ~name:"procset: fold over 16"
+    (Staged.stage (fun () -> ignore (Procset.fold (fun _ a -> a + 1) (Procset.full ~n:16) 0)))
+
+let make_coherent () =
+  let config = Config.butterfly_plus ~nprocs:16 ~page_words:1024 () in
+  let policy =
+    Policy.make ~t1:config.Config.t1_freeze_window (Policy.Platinum { thaw_on_fault = false })
+  in
+  let coh =
+    Coherent.create (Machine.create config) ~engine:(Engine.create ()) ~policy
+      ~frames_per_module:64 ()
+  in
+  let cm = Coherent.new_aspace coh in
+  let page = Coherent.new_cpage coh () in
+  Coherent.bind coh cm ~vpage:0 page Rights.Read_write;
+  ignore (Coherent.write_word coh ~now:0 ~proc:0 ~cmap:cm ~vaddr:0 1);
+  (coh, cm)
+
+let test_read_hit =
+  let coh, cm = make_coherent () in
+  let now = ref 1_000_000 in
+  Test.make ~name:"coherent: steady-state word read"
+    (Staged.stage (fun () ->
+         now := !now + 1_000;
+         ignore (Coherent.read_word coh ~now:!now ~proc:0 ~cmap:cm ~vaddr:0)))
+
+let run (_ : Exp_common.scale) =
+  Exp_common.section "Simulator hot paths (Bechamel, host performance)";
+  let tests =
+    Test.make_grouped ~name:"platinum"
+      [ test_heap; test_engine; test_rng; test_procset; test_read_hit ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Printf.printf "  %-40s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results;
+  Printf.printf "%!"

@@ -1,0 +1,33 @@
+(* Figure 5: merge sort speedup, PLATINUM/Butterfly vs the Sequent
+   Symmetry (model A: small write-through caches on one bus). *)
+
+open Exp_common
+module Mergesort = Platinum_workload.Mergesort
+module Uma_sys = Platinum_cache.Uma_sys
+
+let run (scale : scale) =
+  section "Figure 5 — parallel merge sort speedup";
+  let n = if scale.full then 65_536 else 32_768 in
+  (* Tree merge sort needs power-of-two thread counts. *)
+  let procs = List.filter (fun p -> p land (p - 1) = 0) scale.procs in
+  let procs = if procs = [] then [ 1; 2; 4; 8; 16 ] else procs in
+  Printf.printf "%d words; Sequent model: %d-byte write-through caches, shared bus\n" n
+    (Uma_sys.sequent.Uma_sys.cache_words * 4);
+  let plat nprocs =
+    fst (run_platinum (Mergesort.make (Mergesort.params ~n ~nprocs ~verify:false ())))
+  in
+  let uma nprocs =
+    fst (run_uma ~nprocs (Mergesort.make (Mergesort.params ~n ~nprocs ~verify:false ())))
+  in
+  let tp = List.map plat procs and tu = List.map uma procs in
+  print_speedup_table ~procs
+    [ ("PLATINUM/Butterfly", tp); ("Sequent Symmetry", tu) ];
+  let last l = List.nth l (List.length l - 1) in
+  let sp = float_of_int (List.hd tp) /. float_of_int (last tp) in
+  let su = float_of_int (List.hd tu) /. float_of_int (last tu) in
+  Printf.printf "\n(paper: \"better speedup running on the Butterfly Plus under PLATINUM than\n";
+  Printf.printf " on the Sequent Symmetry for the same size problem\" — small write-through\n";
+  Printf.printf " caches keep nothing between merge phases and put every write on the bus)\n";
+  check_shape
+    (Printf.sprintf "PLATINUM speedup %.2f > Sequent %.2f at %d procs" sp su (last procs))
+    (sp > su)

@@ -1,0 +1,37 @@
+(* Figure 6: the recurrent-backpropagation simulator — fine-grain sharing
+   that the coherent memory gives up on (freezing the data pages), leaving
+   linear speedup with roughly half-a-processor increments. *)
+
+open Exp_common
+module Backprop = Platinum_workload.Backprop
+module Report = Platinum_stats.Report
+
+let run (scale : scale) =
+  section "Figure 6 — recurrent backpropagation simulator speedup";
+  let epochs = if scale.full then 5 else 3 in
+  Printf.printf "40 units, 16 input/output pairs (the encoder problem), %d epochs\n" epochs;
+  let procs = scale.procs in
+  let results =
+    List.map
+      (fun nprocs ->
+        run_platinum (Backprop.make (Backprop.params ~epochs ~nprocs ~verify:false ())))
+      procs
+  in
+  let times = List.map fst results in
+  print_speedup_table ~procs [ ("PLATINUM", times) ];
+  (* slope of the speedup curve over the top half of the range *)
+  let t1 = List.hd times in
+  let speedups = List.map (fun t -> float_of_int t1 /. float_of_int t) times in
+  let last l = List.nth l (List.length l - 1) in
+  let n = List.length procs in
+  let mid_p = List.nth procs (n / 2) and mid_s = List.nth speedups (n / 2) in
+  let slope = (last speedups -. mid_s) /. float_of_int (last procs - mid_p) in
+  Printf.printf "\nincremental contribution per added processor (upper half of curve): %.2f\n" slope;
+  Printf.printf "paper: linear, each increment about 1/2 of a local-memory processor\n";
+  (* every application data page ends frozen *)
+  let _, r = List.nth results (n - 1) in
+  let data = Report.find r.Runner.report ~label_prefix:"heap" in
+  let frozen = List.for_all (fun row -> row.Report.was_frozen) data in
+  check_shape "speedup keeps growing (linear, not saturating)" (last speedups > mid_s +. 0.5);
+  check_shape "increment per processor roughly 1/2 (0.3-0.7)" (slope > 0.3 && slope < 0.7);
+  check_shape "all shared data pages end up frozen" frozen

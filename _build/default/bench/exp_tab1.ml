@@ -1,0 +1,51 @@
+(* Table 1: minimum page size for which migration always pays (§4.1). *)
+
+open Exp_common
+module M = Platinum_analysis.Migration_model
+
+let paper =
+  [
+    (0.17, [ Some 1070; None; None ]);
+    (0.24, [ Some 445; None; None ]);
+    (0.35, [ Some 232; Some 973; None ]);
+    (0.48, [ Some 149; Some 435; None ]);
+    (0.60, [ Some 111; Some 298; Some 1784 ]);
+    (0.75, [ Some 85; Some 210; Some 793 ]);
+    (1.0, [ Some 61; Some 141; Some 412 ]);
+    (1.5, [ Some 39; Some 84; Some 210 ]);
+    (2.0, [ Some 28; Some 61; Some 141 ]);
+  ]
+
+let cell = function
+  | None -> "never"
+  | Some s -> string_of_int s
+
+let run (_ : scale) =
+  section "Table 1 — S_min, minimum page size (words) for which migration pays";
+  Printf.printf "inequality 2 with the paper's constants: s > 107*g / (rho - 0.24*g)\n\n";
+  Printf.printf "%6s | %22s | %22s\n" "rho" "ours  (g=0.5, 1, 2)" "paper (g=0.5, 1, 2)";
+  Printf.printf "%s\n" (String.make 58 '-');
+  let mism = ref 0 in
+  List.iter2
+    (fun (rho, row) (_, prow) ->
+      let ours = List.map (fun g -> M.min_page_words_rounded ~g ~rho) M.table1_gs in
+      ignore row;
+      Printf.printf "%6.2f | %6s %6s %7s | %6s %6s %7s\n" rho (cell (List.nth ours 0))
+        (cell (List.nth ours 1)) (cell (List.nth ours 2)) (cell (List.nth prow 0))
+        (cell (List.nth prow 1)) (cell (List.nth prow 2));
+      List.iter2
+        (fun a b ->
+          match a, b with
+          | Some x, Some y when abs (x - y) > 1 -> incr mism
+          | None, Some _ | Some _, None -> incr mism
+          | _ -> ())
+        ours prow)
+    (M.table1 ()) paper;
+  Printf.printf
+    "\n%d cells differ by more than rounding.  (The paper's own table mixes rounding\n\
+     directions, and its (rho=0.48, g=1) = 435 is inconsistent with its\n\
+     (rho=0.24, g=0.5) = 445 — the formula makes those two cells identical.)\n"
+    !mism;
+  check_shape "all but the known-inconsistent cell within +/-1" (!mism <= 1);
+  Printf.printf "\ng(p) for strict round-robin: g(2)=%.2f (worst), g(4)=%.2f, g(16)=%.2f -> 1\n"
+    (M.g_round_robin ~p:2) (M.g_round_robin ~p:4) (M.g_round_robin ~p:16)

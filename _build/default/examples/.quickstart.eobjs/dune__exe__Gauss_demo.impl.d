@@ -1,0 +1,1 @@
+examples/gauss_demo.ml: Array Format List Platinum_runner Platinum_sim Platinum_stats Platinum_workload Printf String Sys

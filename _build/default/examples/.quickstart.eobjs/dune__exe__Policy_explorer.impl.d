@@ -1,0 +1,1 @@
+examples/policy_explorer.ml: Array List Platinum_core Platinum_machine Platinum_runner Platinum_workload Printf Sys

@@ -1,0 +1,1 @@
+examples/processes.ml: Array List Platinum_kernel Platinum_runner Platinum_stats Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Platinum_kernel Platinum_runner Platinum_sim Platinum_stats

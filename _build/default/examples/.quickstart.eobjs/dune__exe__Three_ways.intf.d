@@ -1,0 +1,1 @@
+examples/three_ways.mli:

@@ -1,0 +1,67 @@
+(* Policy explorer: one access pattern, every replication policy.
+
+   Run with:  dune exec examples/policy_explorer.exe [-- PATTERN]
+   where PATTERN is one of: private, read-shared, ping-pong, phase.
+
+   Shows how each policy treats the pattern — and how the PLATINUM policy
+   (replicate unless recently invalidated, freeze on interference, thaw on
+   phase change) gets all four of them right while each simpler policy
+   fumbles at least one. *)
+
+module Config = Platinum_machine.Config
+module Policy = Platinum_core.Policy
+module Coherent = Platinum_core.Coherent
+module Counters = Platinum_core.Counters
+module Runner = Platinum_runner.Runner
+module Patterns = Platinum_workload.Patterns
+module Outcome = Platinum_workload.Outcome
+
+let patterns =
+  [
+    ("private", fun () -> Patterns.private_chunks ~nprocs:8 ~pages_each:2 ~rounds:4);
+    ("read-shared", fun () -> Patterns.read_shared ~nprocs:8 ~pages:2 ~rounds:6);
+    ("ping-pong", fun () -> Patterns.ping_pong ~writers:8 ~rounds:64);
+    ("phase", fun () -> Patterns.phase_change ~nprocs:8 ~pages:1 ~rounds:64);
+  ]
+
+let run_one name pattern =
+  let config =
+    (* A short defrost period so the phase-change pattern fits the demo. *)
+    Config.with_policy_params ~t2_defrost_period:500_000_000
+      (Config.butterfly_plus ~nprocs:8 ())
+  in
+  let policy =
+    match Policy.of_string ~t1:config.Config.t1_freeze_window name with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let out, main = pattern () in
+  let r = Runner.time ~config ~policy main in
+  assert out.Outcome.ok;
+  let c = Coherent.counters r.Runner.setup.Runner.coherent in
+  (out.Outcome.work_ns, c)
+
+let () =
+  let chosen =
+    if Array.length Sys.argv > 1 then
+      [ (Sys.argv.(1), List.assoc Sys.argv.(1) patterns) ]
+    else patterns
+  in
+  List.iter
+    (fun (pname, pattern) ->
+      Printf.printf "\n=== pattern: %s ===\n" pname;
+      Printf.printf "%-18s %10s %7s %7s %7s %7s %7s\n" "policy" "time(ms)" "repl" "migr"
+        "rmap" "freeze" "thaw";
+      List.iter
+        (fun policy_name ->
+          let work, c = run_one policy_name pattern in
+          Printf.printf "%-18s %10.2f %7d %7d %7d %7d %7d\n%!" policy_name
+            (float_of_int work /. 1e6)
+            c.Counters.replications c.Counters.migrations c.Counters.remote_maps
+            c.Counters.freezes c.Counters.thaws)
+        Policy.default_names)
+    chosen;
+  print_endline "";
+  print_endline "Reading guide: 'private' wants migration then silence; 'read-shared'";
+  print_endline "wants replicas; 'ping-pong' wants freezing (watch always-replicate";
+  print_endline "churn); 'phase' wants a freeze and then a thaw when the writes stop."

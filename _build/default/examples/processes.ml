@@ -1,0 +1,81 @@
+(* Address spaces, memory objects, and ports — the §1.1 model, complete.
+
+   Run with:  dune exec examples/processes.exe
+
+   "A more restricted form of sharing is realized by mapping a memory
+   object into multiple address spaces.  The shared object can be
+   accessed by all of the threads in those spaces, but the non-shared
+   objects in each address space are protected from threads in other
+   spaces."  Two "processes" (address spaces) below share one segment and
+   coordinate through a port; their private heaps use overlapping virtual
+   addresses without interfering — and the coherent memory migrates the
+   shared pages back and forth between them as ownership of the work
+   alternates. *)
+
+module Api = Platinum_kernel.Api
+module Runner = Platinum_runner.Runner
+module Report = Platinum_stats.Report
+
+let () =
+  let rounds = 6 and words = 256 in
+  let result =
+    Runner.time (fun () ->
+        let seg = Api.new_segment "mailbox-data" ~pages:1 in
+        let to_b = Api.new_port () and to_a = Api.new_port () in
+        (* Process A: the root address space. *)
+        let base_a = Api.map_segment seg in
+        let private_a = Api.alloc 4 in
+        Api.write private_a 0xAAAA;
+        (* Process B: its own space, own heap, sharing only the segment. *)
+        let space_b = Api.new_aspace () in
+        let b_private = ref 0 in
+        let b_thread =
+          Api.spawn ~proc:8 ~aspace:space_b (fun () ->
+              let base_b = Api.map_segment seg in
+              let z = Api.new_zone "b-heap" ~pages:1 in
+              let private_b = Api.alloc ~zone:z 4 in
+              Api.write private_b 0xBBBB;
+              for _round = 1 to rounds do
+                ignore (Api.recv to_b);
+                (* Think a while (keeps each round's transfer outside the
+                   freeze window — this is coarse-grain sharing). *)
+                Api.compute 12_000_000;
+                (* B squares what A left in the shared object. *)
+                let data = Api.block_read base_b words in
+                Api.block_write base_b (Array.map (fun x -> x * x land 0xFFFFF) data);
+                Api.send to_a [| 0 |]
+              done;
+              b_private := Api.read private_b)
+        in
+        for round = 1 to rounds do
+          Api.block_write base_a (Array.init words (fun i -> i + round));
+          Api.send to_b [| round |];
+          ignore (Api.recv to_a);
+          (* Think before looking at the reply: the hand-offs stay coarser
+             than the freeze window t1. *)
+          Api.compute 12_000_000;
+          let back = Api.block_read base_a words in
+          assert (back.(3) = (3 + round) * (3 + round) land 0xFFFFF)
+        done;
+        Api.join b_thread;
+        assert (Api.read private_a = 0xAAAA);
+        assert (!b_private = 0xBBBB))
+  in
+  print_endline "Two address spaces, one shared memory object, ports for control.";
+  Printf.printf "All %d rounds verified; each side's private heap untouched by the other.\n\n"
+    rounds;
+  let shared = Report.find result.Runner.report ~label_prefix:"mailbox-data" in
+  List.iter
+    (fun row ->
+      Printf.printf
+        "shared page %-18s %d read + %d write faults, %d replications, %d invalidations%s\n"
+        row.Report.label row.Report.read_faults row.Report.write_faults row.Report.replications
+        row.Report.invalidations
+        (if row.Report.was_frozen then " (was frozen)" else ""))
+    shared;
+  print_endline "";
+  print_endline "Each hand-off replicated the object's page to the consumer's node and";
+  print_endline "invalidated the replica at the next write — the data crossed the machine";
+  print_endline "every round with no copies and no placement code in either program:";
+  print_endline "\"memory objects are the natural unit of data- or code-sharing";
+  print_endline " between address spaces.\" (section 1.1)"

@@ -1,0 +1,125 @@
+(* The three ways to operate on a shared structure (§4.1).
+
+   Run with:  dune exec examples/three_ways.exe
+
+   "Suppose a data structure X is shared and written by p processors...
+   obtain the lock for X, perform a computation f entailing r memory
+   references on it, and release the lock."  The operation can be
+   performed (1) in place, with remote references; (2) by moving the
+   data to the operator (migration — what the coherent memory does on a
+   write miss); (3) by moving the computation to the data (a remote
+   procedure call — what Emerald-style languages would do on PLATINUM).
+
+   We run the same round-robin update workload all three ways and report
+   the times, plus what inequality (2) predicts for this density. *)
+
+module Api = Platinum_kernel.Api
+module Sync = Platinum_kernel.Sync
+module Rpc = Platinum_kernel.Rpc
+module Runner = Platinum_runner.Runner
+module Policy = Platinum_core.Policy
+module Config = Platinum_machine.Config
+module M = Platinum_analysis.Migration_model
+
+let procs = 8
+let rounds_per_proc = 24
+let struct_words = 512 (* X: half a page *)
+let touches = 256 (* r: references per operation; rho = 256/1024 = 0.25 *)
+
+(* One operation on X: read/update [touches] words under the lock. *)
+let operate ~base ~lock_addr =
+  let lock = Sync.Spinlock.of_addr lock_addr in
+  Sync.Spinlock.with_lock lock (fun () ->
+      let data = Api.block_read base touches in
+      for i = 0 to touches - 1 do
+        data.(i) <- (data.(i) + 1) land 0xFFFF
+      done;
+      Api.compute (touches * 500);
+      Api.block_write base data)
+
+let run_with ~policy_name ~use_rpc =
+  let config = Config.butterfly_plus ~nprocs:procs () in
+  let policy =
+    match Policy.of_string ~t1:config.Config.t1_freeze_window policy_name with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let work = ref 0 in
+  let r =
+    Runner.time ~config ~policy (fun () ->
+        let base = Api.alloc_pages 1 in
+        (* The lock gets its own zone (§6's discipline), and — since we
+           know it is a fine-grain synchronization word — an explicit
+           freeze hint (§9), so the comparison isolates X's economics. *)
+        let zone_sync = Api.new_zone "sync" ~pages:1 in
+        let lock_addr = Api.alloc ~zone:zone_sync 1 in
+        Api.write lock_addr 0;
+        Api.advise lock_addr 1 Platinum_kernel.Memsys.Freeze;
+        Api.block_write base (Array.make struct_words 0);
+        let t0 = Api.now () in
+        if use_rpc then begin
+          (* (3): ship the operation to X's node. *)
+          let server = Rpc.serve ~proc:0 (fun _ -> operate ~base ~lock_addr; [||]) in
+          let worker _ =
+            for _ = 1 to rounds_per_proc do
+              ignore (Rpc.call server [||])
+            done
+          in
+          Api.spawn_join_all ~procs:(List.init procs (fun i -> i))
+            (List.init procs (fun _ _ -> worker ()));
+          Rpc.shutdown server
+        end
+        else begin
+          let worker _ =
+            for _ = 1 to rounds_per_proc do
+              operate ~base ~lock_addr
+            done
+          in
+          Api.spawn_join_all ~procs:(List.init procs (fun i -> i))
+            (List.init procs (fun _ _ -> worker ()))
+        end;
+        work := Api.now () - t0;
+        (* X must have seen every update exactly once. *)
+        let final = Api.block_read base touches in
+        assert (final.(0) = (procs * rounds_per_proc) land 0xFFFF))
+  in
+  ignore r;
+  !work
+
+let () =
+  (* r counts reads and writes: each operation reads and writes [touches]
+     words, so rho = 2*touches / page_words. *)
+  let rho = 2.0 *. float_of_int touches /. 1024. in
+  Printf.printf "X: %d words; each operation makes %d references (rho = %.2f); %d processors\n\n"
+    struct_words (2 * touches) rho procs;
+  let in_place = run_with ~policy_name:"static-place" ~use_rpc:false in
+  let migrate = run_with ~policy_name:"always-replicate" ~use_rpc:false in
+  let platinum = run_with ~policy_name:"platinum" ~use_rpc:false in
+  let rpc = run_with ~policy_name:"platinum" ~use_rpc:true in
+  Printf.printf "  (1) operate in place (remote references):     %7.1f ms\n"
+    (float_of_int in_place /. 1e6);
+  Printf.printf "  (2) move the data (migrate on every write):   %7.1f ms\n"
+    (float_of_int migrate /. 1e6);
+  Printf.printf "  (3) move the computation (RPC server):        %7.1f ms\n"
+    (float_of_int rpc /. 1e6);
+  Printf.printf "  ... and the PLATINUM policy's own choice:     %7.1f ms\n"
+    (float_of_int platinum /. 1e6);
+  let g = M.g_round_robin ~p:procs in
+  (match M.min_page_words M.butterfly_plus ~g ~rho with
+  | Some s ->
+    Printf.printf
+      "\nInequality (2) with g(%d) = %.2f says migration pays above %d words — but it\n\
+       charges ONE data movement per operation, while the mechanism pays TWO (the\n\
+       read miss replicates, then the write miss migrates), so the real break-even\n\
+       is about %d words: our 1024-word page sits at the boundary, and measurement\n\
+       agrees — naive migration loses here.\n"
+      procs g s (2 * s)
+  | None ->
+    Printf.printf
+      "\ninequality (2) with g(%d) = %.2f: at this density migration never pays.\n" procs g);
+  print_endline
+    "The PLATINUM policy freezes the page (recent invalidations look like\n\
+     interference) and lands on the better of (1)/(2) without being told.\n\
+     RPC wins outright when the lock serializes anyway and shipping the\n\
+     computation saves every data motion — \"implementations of languages\n\
+     such as Emerald on top of PLATINUM would utilize the third option.\""

@@ -1,0 +1,1 @@
+lib/analysis/migration_model.mli:

@@ -1,0 +1,38 @@
+type machine = {
+  t_local : float;
+  t_remote : float;
+  t_block : float;
+  fixed_overhead : float;
+}
+
+let butterfly_plus =
+  { t_local = 320.; t_remote = 5_000.; t_block = 1_100.; fixed_overhead = 500_760. }
+
+let g_round_robin ~p =
+  if p < 2 then invalid_arg "g_round_robin: needs at least 2 processors";
+  float_of_int p /. float_of_int (p - 1)
+
+let migration_pays m ~g ~rho ~page_words =
+  let s = float_of_int page_words in
+  let c_local = rho *. s *. m.t_local in
+  let c_remote = rho *. s *. m.t_remote in
+  let c_migrate = (s *. m.t_block) +. m.fixed_overhead in
+  c_remote > (g *. c_migrate) +. c_local
+
+let min_page_from ~numerator ~coeff ~g ~rho =
+  let denom = rho -. (coeff *. g) in
+  if denom <= 0. then None else Some (int_of_float (ceil (numerator *. g /. denom)))
+
+let min_page_words m ~g ~rho =
+  let delta = m.t_remote -. m.t_local in
+  min_page_from ~numerator:(m.fixed_overhead /. delta) ~coeff:(m.t_block /. delta) ~g ~rho
+
+let min_page_words_rounded ~g ~rho = min_page_from ~numerator:107. ~coeff:0.24 ~g ~rho
+
+let table1_rhos = [ 0.17; 0.24; 0.35; 0.48; 0.60; 0.75; 1.0; 1.5; 2.0 ]
+let table1_gs = [ 0.5; 1.0; 2.0 ]
+
+let table1 () =
+  List.map
+    (fun rho -> (rho, List.map (fun g -> min_page_words_rounded ~g ~rho) table1_gs))
+    table1_rhos

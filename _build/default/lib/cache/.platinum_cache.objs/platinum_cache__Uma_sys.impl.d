@@ -1,0 +1,1 @@
+lib/cache/uma_sys.ml: Array Hashtbl Platinum_kernel Platinum_machine Printf

@@ -1,0 +1,1 @@
+lib/cache/uma_sys.mli: Platinum_kernel Platinum_machine

@@ -1,0 +1,1 @@
+lib/core/atc.ml: Hashtbl Pmap

@@ -1,0 +1,1 @@
+lib/core/atlas.ml: Buffer Cmap Coherent Cpage Format List Platinum_machine Platinum_sim Policy Printf Rights

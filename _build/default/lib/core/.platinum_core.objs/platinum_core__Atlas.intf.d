@@ -1,0 +1,1 @@
+lib/core/atlas.mli: Cpage Format

@@ -1,0 +1,1 @@
+lib/core/cmap.ml: Array Cpage Hashtbl List Platinum_machine Pmap Printf Rights

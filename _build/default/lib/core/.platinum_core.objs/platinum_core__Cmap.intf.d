@@ -1,0 +1,1 @@
+lib/core/cmap.mli: Cpage Platinum_machine Pmap Rights

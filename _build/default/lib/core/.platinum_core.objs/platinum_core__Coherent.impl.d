@@ -1,0 +1,1 @@
+lib/core/coherent.ml: Array Atc Cmap Counters Cpage Fault Hashtbl List Platinum_machine Platinum_phys Platinum_sim Pmap Policy Printf Probe Shootdown

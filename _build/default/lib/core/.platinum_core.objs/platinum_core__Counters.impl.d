@@ -1,0 +1,1 @@
+lib/core/counters.ml: Format Platinum_sim

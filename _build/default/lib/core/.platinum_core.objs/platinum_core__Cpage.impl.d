@@ -1,0 +1,1 @@
+lib/core/cpage.ml: Format List Platinum_machine Platinum_phys Platinum_sim Printf

@@ -1,0 +1,1 @@
+lib/core/cpage.mli: Format Platinum_machine Platinum_phys Platinum_sim

@@ -1,0 +1,1 @@
+lib/core/defrost.ml: Coherent Cpage Platinum_machine Platinum_sim Policy

@@ -1,0 +1,1 @@
+lib/core/defrost.mli: Coherent Platinum_sim

@@ -1,0 +1,1 @@
+lib/core/fault.ml: Array Atc Cmap Counters Cpage List Platinum_machine Platinum_phys Pmap Policy Probe Rights Shootdown

@@ -1,0 +1,1 @@
+lib/core/fault.mli: Atc Cmap Counters Cpage Platinum_machine Platinum_phys Platinum_sim Pmap Policy Probe

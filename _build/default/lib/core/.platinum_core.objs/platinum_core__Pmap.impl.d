@@ -1,0 +1,1 @@
+lib/core/pmap.ml: Hashtbl Platinum_phys

@@ -1,0 +1,1 @@
+lib/core/pmap.mli: Platinum_phys

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Cpage Hashtbl Platinum_sim Printf String

@@ -1,0 +1,1 @@
+lib/core/probe.ml: Format Platinum_sim

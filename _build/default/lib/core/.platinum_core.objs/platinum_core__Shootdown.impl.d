@@ -1,0 +1,1 @@
+lib/core/shootdown.ml: Array Atc Cmap Counters List Platinum_machine Pmap

@@ -1,0 +1,1 @@
+lib/core/shootdown.mli: Atc Cmap Counters Platinum_machine Platinum_sim

@@ -1,0 +1,34 @@
+type t = {
+  atc_proc : int;
+  mutable aspace : int;  (* -1 = none *)
+  entries : (int, Pmap.entry) Hashtbl.t;
+}
+
+let create ~proc = { atc_proc = proc; aspace = -1; entries = Hashtbl.create 64 }
+let proc t = t.atc_proc
+let active_aspace t = if t.aspace < 0 then None else Some t.aspace
+
+let flush t = Hashtbl.reset t.entries
+
+let activate t ~aspace =
+  if t.aspace = aspace then false
+  else begin
+    flush t;
+    t.aspace <- aspace;
+    true
+  end
+
+let deactivate t =
+  flush t;
+  t.aspace <- -1
+
+let find t ~aspace ~vpage =
+  if t.aspace <> aspace then None else Hashtbl.find_opt t.entries vpage
+
+let load t ~vpage entry =
+  if t.aspace < 0 then invalid_arg "Atc.load: no active address space";
+  Hashtbl.replace t.entries vpage entry
+
+let invalidate t ~aspace ~vpage = if t.aspace = aspace then Hashtbl.remove t.entries vpage
+
+let size t = Hashtbl.length t.entries

@@ -1,0 +1,23 @@
+(** The protocol state-transition atlas (Figure 4).
+
+    Rather than hard-coding the paper's diagram, this module {e drives} a
+    live coherent-memory instance through every scenario the protocol can
+    encounter and records which state transition each one produced.  The
+    fig4 benchmark prints the resulting edges (and DOT); a test pins them
+    to the expected diagram, so any change to the fault handler that
+    alters the protocol shape is caught. *)
+
+type edge = {
+  from_state : Cpage.state;
+  to_state : Cpage.state;
+  trigger : string;  (** e.g. ["read miss (replicate)"] *)
+}
+
+val edges : unit -> edge list
+(** Execute every scenario on a fresh instance and collect the observed
+    transitions, deduplicated, in a stable order. *)
+
+val to_dot : edge list -> string
+(** Graphviz rendering of the diagram. *)
+
+val pp_edge : Format.formatter -> edge -> unit

@@ -1,0 +1,68 @@
+module Procset = Platinum_machine.Procset
+
+type centry = {
+  cpage : Cpage.t;
+  mutable vrights : Rights.t;
+  mutable refmask : Procset.t;
+}
+
+type directive =
+  | Restrict_to_read
+  | Invalidate
+
+type message = {
+  msg_vpage : int;
+  msg_directive : directive;
+  mutable msg_targets : Procset.t;
+}
+
+type t = {
+  aspace_id : int;
+  entries : (int, centry) Hashtbl.t;
+  mutable queue : message list;  (* newest first; order is irrelevant to targets *)
+  mutable active_set : Procset.t;
+  pmaps : Pmap.t array;
+  mutable posted : int;
+}
+
+let create ~aspace ~nprocs =
+  {
+    aspace_id = aspace;
+    entries = Hashtbl.create 256;
+    queue = [];
+    active_set = Procset.empty;
+    pmaps = Array.init nprocs (fun proc -> Pmap.create ~proc);
+    posted = 0;
+  }
+
+let aspace t = t.aspace_id
+let pmap t ~proc = t.pmaps.(proc)
+let active t = t.active_set
+
+let set_active t ~proc flag =
+  t.active_set <-
+    (if flag then Procset.add proc t.active_set else Procset.remove proc t.active_set)
+
+let find t ~vpage = Hashtbl.find_opt t.entries vpage
+
+let bind t ~vpage cpage vrights =
+  if Hashtbl.mem t.entries vpage then
+    invalid_arg (Printf.sprintf "Cmap.bind: vpage %d already bound in aspace %d" vpage t.aspace_id);
+  let e = { cpage; vrights; refmask = Procset.empty } in
+  Hashtbl.replace t.entries vpage e;
+  e
+
+let unbind t ~vpage = Hashtbl.remove t.entries vpage
+let iter f t = Hashtbl.iter f t.entries
+let nbindings t = Hashtbl.length t.entries
+
+let post t msg =
+  t.queue <- msg :: t.queue;
+  t.posted <- t.posted + 1
+
+let complete t msg ~proc =
+  msg.msg_targets <- Procset.remove proc msg.msg_targets;
+  if Procset.is_empty msg.msg_targets then t.queue <- List.filter (fun m -> m != msg) t.queue
+
+let pending_messages t = t.queue
+let messages_posted t = t.posted

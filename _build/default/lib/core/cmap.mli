@@ -1,0 +1,61 @@
+(** Coherent maps (Cmap): per-address-space coherency bookkeeping.
+
+    A Cmap caches the composition of the VM system's virtual→object and
+    object→coherent-page mappings.  It holds (§2.3):
+
+    - a table of virtual-to-coherent page mappings (Cmap entries), each
+      with the access rights and a {e reference mask} of the processors
+      holding a virtual-to-physical translation in their Pmap;
+    - a queue of Cmap messages describing recent restrictive changes;
+    - a bit mask of processors with this address space active;
+    - a private {!Pmap} per processor. *)
+
+type centry = {
+  cpage : Cpage.t;
+  mutable vrights : Rights.t;  (** rights granted by the VM system *)
+  mutable refmask : Platinum_machine.Procset.t;
+      (** processors with a v→p translation for this page *)
+}
+
+type directive =
+  | Restrict_to_read
+  | Invalidate
+
+type message = {
+  msg_vpage : int;
+  msg_directive : directive;
+  mutable msg_targets : Platinum_machine.Procset.t;
+      (** processors that still have to apply the change *)
+}
+
+type t
+
+val create : aspace:int -> nprocs:int -> t
+
+val aspace : t -> int
+val pmap : t -> proc:int -> Pmap.t
+
+val active : t -> Platinum_machine.Procset.t
+val set_active : t -> proc:int -> bool -> unit
+
+val find : t -> vpage:int -> centry option
+val bind : t -> vpage:int -> Cpage.t -> Rights.t -> centry
+(** Install a virtual-to-coherent mapping.  Raises if already bound. *)
+
+val unbind : t -> vpage:int -> unit
+val iter : (int -> centry -> unit) -> t -> unit
+val nbindings : t -> int
+
+(* --- message queue --- *)
+
+val post : t -> message -> unit
+(** Append a shootdown message.  The simulator applies changes eagerly (see
+    {!Shootdown}), so the queue records protocol traffic: drained messages
+    accumulate in [messages_posted]. *)
+
+val complete : t -> message -> proc:int -> unit
+(** Mark one target as having applied the message; the message leaves the
+    queue when its target mask empties. *)
+
+val pending_messages : t -> message list
+val messages_posted : t -> int

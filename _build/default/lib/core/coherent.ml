@@ -1,0 +1,518 @@
+module Machine = Platinum_machine.Machine
+module Config = Platinum_machine.Config
+module Xbar = Platinum_machine.Xbar
+module Procset = Platinum_machine.Procset
+module Frame = Platinum_phys.Frame
+module Phys_mem = Platinum_phys.Phys_mem
+module Engine = Platinum_sim.Engine
+
+type t = {
+  machine : Machine.t;
+  phys : Phys_mem.t;
+  counters : Counters.t;
+  policy : Policy.t;
+  atcs : Atc.t array;
+  active_aspace : int array;  (* per processor; -1 = none *)
+  cmaps : (int, Cmap.t) Hashtbl.t;
+  cpages : (int, Cpage.t) Hashtbl.t;
+  mutable next_aspace : int;
+  mutable next_cpage : int;
+  mappings : (int, (Cmap.t * int) list ref) Hashtbl.t;  (* cpage id -> bindings *)
+  mutable frozen_list : Cpage.t list;
+  mutable fault_ctx : Fault.ctx option;
+  mutable probe : Probe.t option;
+  mutable in_daemon : bool;  (* a thaw_all (defrost) pass is running *)
+  mutable freeze_hook : (now:int -> Cpage.t -> unit) option;  (* defrost daemon's *)
+}
+
+let machine t = t.machine
+let config t = Machine.config t.machine
+let phys t = t.phys
+let counters t = t.counters
+let policy t = t.policy
+let page_words t = Phys_mem.page_words t.phys
+
+let mappings_of t (page : Cpage.t) =
+  match Hashtbl.find_opt t.mappings page.Cpage.id with
+  | None -> []
+  | Some r -> !r
+
+(* A frozen page must have exactly one backing copy (§4.2: "there can only
+   be one physical page backing a frozen Cpage").  A replica can slip in
+   between an invalidation and the next miss when fault-handling latency
+   crosses the t1 boundary mid-operation; in that case the page is being
+   read-shared successfully and freezing is declined — the caller's remote
+   mapping is still installed and harmless. *)
+let freeze_page t ~now (page : Cpage.t) =
+  if (not page.Cpage.frozen) && Cpage.ncopies page = 1 then begin
+    page.Cpage.frozen <- true;
+    page.Cpage.stats.Cpage.freezes <- page.Cpage.stats.Cpage.freezes + 1;
+    page.Cpage.stats.Cpage.was_frozen <- true;
+    t.counters.Counters.freezes <- t.counters.Counters.freezes + 1;
+    t.frozen_list <- page :: t.frozen_list;
+    page.Cpage.frozen_at <- now;
+    (match t.probe with
+    | None -> ()
+    | Some p -> p ~now (Probe.Frozen { cpage = page.Cpage.id }));
+    match t.freeze_hook with
+    | None -> ()
+    | Some f -> f ~now page
+  end
+
+let thaw_page t ~now (page : Cpage.t) =
+  if page.Cpage.frozen then begin
+    page.Cpage.frozen <- false;
+    page.Cpage.stats.Cpage.thaws <- page.Cpage.stats.Cpage.thaws + 1;
+    t.counters.Counters.thaws <- t.counters.Counters.thaws + 1;
+    t.frozen_list <- List.filter (fun p -> p != page) t.frozen_list;
+    (* Invalidate every translation so the next access faults and may
+       replicate or migrate the page.  The daemon's own work is charged to
+       the page's home processor.  This is not a *protocol* invalidation:
+       it does not update [last_protocol_inval]. *)
+    let daemon_proc = page.Cpage.home in
+    let r =
+      Shootdown.run ~machine:t.machine ~counters:t.counters ~atcs:t.atcs ~now
+        ~initiator:daemon_proc ~mappings:(mappings_of t page) ~directive:Cmap.Invalidate
+        ~spare:None
+    in
+    (* The daemon also drops its initiator-side bookkeeping onto its own
+       processor. *)
+    Machine.add_penalty t.machine ~proc:daemon_proc r.Shootdown.latency;
+    (* Clear any surviving refmask bits (the initiator slot). *)
+    List.iter
+      (fun (cmap, vpage) ->
+        match Cmap.find cmap ~vpage with
+        | None -> ()
+        | Some ce ->
+          Procset.iter
+            (fun p ->
+              Pmap.remove (Cmap.pmap cmap ~proc:p) ~vpage;
+              Atc.invalidate t.atcs.(p) ~aspace:(Cmap.aspace cmap) ~vpage)
+            ce.Cmap.refmask;
+          ce.Cmap.refmask <- Procset.empty)
+      (mappings_of t page);
+    page.Cpage.write_mapped <- false;
+    Cpage.sync_state page;
+    page.Cpage.last_thaw_at <- now;
+    (match t.probe with
+    | None -> ()
+    | Some p -> p ~now (Probe.Thawed { cpage = page.Cpage.id; by_daemon = t.in_daemon }))
+  end
+
+let thaw_all t ~now =
+  t.in_daemon <- true;
+  List.iter (fun page -> thaw_page t ~now page) t.frozen_list;
+  t.in_daemon <- false
+
+let fault_ctx t =
+  match t.fault_ctx with
+  | Some c -> c
+  | None ->
+    let hooks = { Policy.freeze = (fun ~now p -> freeze_page t ~now p);
+                  thaw = (fun ~now p -> thaw_page t ~now p) }
+    in
+    let c =
+      {
+        Fault.machine = t.machine;
+        phys = t.phys;
+        counters = t.counters;
+        atcs = t.atcs;
+        policy = t.policy;
+        hooks;
+        mappings_of = (fun page -> mappings_of t page);
+        probe = (fun () -> t.probe);
+      }
+    in
+    t.fault_ctx <- Some c;
+    c
+
+let create machine ~engine:_ ~policy ?(frames_per_module = 1024) () =
+  let config = Machine.config machine in
+  let nprocs = config.Config.nprocs in
+  {
+    machine;
+    phys =
+      Phys_mem.create ~modules:nprocs ~frames_per_module
+        ~page_words:config.Config.page_words;
+    counters = Counters.create ();
+    policy;
+    atcs = Array.init nprocs (fun proc -> Atc.create ~proc);
+    active_aspace = Array.make nprocs (-1);
+    cmaps = Hashtbl.create 8;
+    cpages = Hashtbl.create 1024;
+    next_aspace = 0;
+    next_cpage = 0;
+    mappings = Hashtbl.create 1024;
+    frozen_list = [];
+    fault_ctx = None;
+    probe = None;
+    in_daemon = false;
+    freeze_hook = None;
+  }
+
+let new_aspace t =
+  let id = t.next_aspace in
+  t.next_aspace <- id + 1;
+  let cm = Cmap.create ~aspace:id ~nprocs:(Machine.nprocs t.machine) in
+  Hashtbl.replace t.cmaps id cm;
+  cm
+
+let cmap t ~aspace =
+  match Hashtbl.find_opt t.cmaps aspace with
+  | Some cm -> cm
+  | None -> invalid_arg (Printf.sprintf "Coherent.cmap: unknown address space %d" aspace)
+
+let new_cpage t ?home ?label () =
+  let id = t.next_cpage in
+  t.next_cpage <- id + 1;
+  (* Kernel metadata is decentralized: home modules are spread round-robin. *)
+  let home = match home with Some h -> h | None -> id mod Machine.nprocs t.machine in
+  let page = Cpage.create ~id ~home ?label () in
+  Hashtbl.replace t.cpages id page;
+  page
+
+let bind t cm ~vpage page rights =
+  ignore (Cmap.bind cm ~vpage page rights);
+  let r =
+    match Hashtbl.find_opt t.mappings page.Cpage.id with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace t.mappings page.Cpage.id r;
+      r
+  in
+  r := (cm, vpage) :: !r
+
+let unbind t ~now cm ~vpage =
+  match Cmap.find cm ~vpage with
+  | None -> 0
+  | Some ce ->
+    let page = ce.Cmap.cpage in
+    let r =
+      Shootdown.run ~machine:t.machine ~counters:t.counters ~atcs:t.atcs ~now ~initiator:0
+        ~mappings:[ (cm, vpage) ] ~directive:Cmap.Invalidate ~spare:None
+    in
+    Procset.iter
+      (fun p ->
+        Pmap.remove (Cmap.pmap cm ~proc:p) ~vpage;
+        Atc.invalidate t.atcs.(p) ~aspace:(Cmap.aspace cm) ~vpage)
+      ce.Cmap.refmask;
+    ce.Cmap.refmask <- Procset.empty;
+    Cmap.unbind cm ~vpage;
+    (match Hashtbl.find_opt t.mappings page.Cpage.id with
+    | None -> ()
+    | Some lst -> lst := List.filter (fun (c, v) -> not (c == cm && v = vpage)) !lst);
+    (* If nothing maps the page it keeps its copies (the memory object
+       still owns the data); translations are simply gone. *)
+    page.Cpage.write_mapped <- false;
+    Cpage.sync_state page;
+    r.Shootdown.latency
+
+let activate t ~now:_ ~proc ~aspace =
+  if t.active_aspace.(proc) = aspace then 0
+  else begin
+    let prev = t.active_aspace.(proc) in
+    if prev >= 0 then begin
+      match Hashtbl.find_opt t.cmaps prev with
+      | Some old -> Cmap.set_active old ~proc false
+      | None -> ()
+    end;
+    t.active_aspace.(proc) <- aspace;
+    let cm = cmap t ~aspace in
+    Cmap.set_active cm ~proc true;
+    ignore (Atc.activate t.atcs.(proc) ~aspace);
+    (* The §7 caches are virtually indexed: flush on space switch. *)
+    (match Machine.cache t.machine ~proc with
+    | Some c -> Platinum_machine.Cache.flush c
+    | None -> ());
+    (config t).Config.aspace_activate_ns
+  end
+
+let translate t ~now ~proc ~cmap:cm ~vpage ~write =
+  let aspace = Cmap.aspace cm in
+  let act = activate t ~now ~proc ~aspace in
+  let atc = t.atcs.(proc) in
+  let sufficient (e : Pmap.entry) = (not write) || e.Pmap.write_ok in
+  match Atc.find atc ~aspace ~vpage with
+  | Some e when sufficient e -> (e, act)
+  | _ -> (
+    match Pmap.find (Cmap.pmap cm ~proc) ~vpage with
+    | Some e when sufficient e ->
+      Atc.load atc ~vpage e;
+      t.counters.Counters.atc_reloads <- t.counters.Counters.atc_reloads + 1;
+      (e, act + (config t).Config.atc_reload_ns)
+    | _ ->
+      let entry, lat = Fault.handle (fault_ctx t) ~now:(now + act) ~proc ~cmap:cm ~vpage ~write in
+      (entry, act + lat))
+
+let split_vaddr t vaddr =
+  let pw = page_words t in
+  (vaddr / pw, vaddr mod pw)
+
+(* §7: "Almost all data is cachable.  Only modified Cpages that are mapped
+   by remote processors cannot be cached." *)
+let cachable t (page : Cpage.t) =
+  match page.Cpage.state with
+  | Cpage.Empty | Cpage.Present1 | Cpage.Present_plus -> true
+  | Cpage.Modified ->
+    let holder = Platinum_phys.Frame.mem_module (Cpage.any_copy page) in
+    List.for_all
+      (fun (cm, vpage) ->
+        match Cmap.find cm ~vpage with
+        | None -> true
+        | Some ce -> Procset.subset ce.Cmap.refmask (Procset.singleton holder))
+      (mappings_of t page)
+
+(* A cached word read: hit avoids the interconnect entirely.  [page] is
+   the coherent page backing the (already translated) access. *)
+let try_cache_read t ~proc ~vaddr page =
+  match Machine.cache t.machine ~proc with
+  | None -> `No_cache
+  | Some c ->
+    if not (cachable t page) then `No_cache
+    else if Platinum_machine.Cache.lookup c ~addr:vaddr then `Hit
+    else `Miss c
+
+let read_word t ~now ~proc ~cmap:cm ~vaddr =
+  let vpage, off = split_vaddr t vaddr in
+  let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
+  let frame = entry.Pmap.frame in
+  let page =
+    match Cmap.find cm ~vpage with
+    | Some ce -> ce.Cmap.cpage
+    | None -> assert false (* translate just succeeded *)
+  in
+  match try_cache_read t ~proc ~vaddr page with
+  | `Hit -> (Frame.get frame off, l1 + (config t).Config.t_cache_hit)
+  | (`Miss _ | `No_cache) as m ->
+    let l2 =
+      Xbar.word_access (config t) (Machine.modules t.machine) ~now:(now + l1) ~proc
+        ~mem_module:(Frame.mem_module frame) Xbar.Read
+    in
+    (match m with
+    | `Miss c -> Platinum_machine.Cache.fill c ~addr:vaddr
+    | `No_cache -> ());
+    (Frame.get frame off, l1 + l2)
+
+(* Writes are write-through; other processors' cached copies of the word
+   are invalidated in software (there is no snooping hardware, §7). *)
+let after_write t ~proc ~vaddr page =
+  if Machine.caches_enabled t.machine then begin
+    Machine.invalidate_cached_range_all t.machine ~addr:vaddr ~words:1;
+    match Machine.cache t.machine ~proc with
+    | Some c when cachable t page -> Platinum_machine.Cache.fill c ~addr:vaddr
+    | Some _ | None -> ()
+  end
+
+let write_word t ~now ~proc ~cmap:cm ~vaddr v =
+  let vpage, off = split_vaddr t vaddr in
+  let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+  let frame = entry.Pmap.frame in
+  let l2 =
+    Xbar.word_access (config t) (Machine.modules t.machine) ~now:(now + l1) ~proc
+      ~mem_module:(Frame.mem_module frame) Xbar.Write
+  in
+  Frame.set frame off v;
+  (match Cmap.find cm ~vpage with
+  | Some ce -> after_write t ~proc ~vaddr ce.Cmap.cpage
+  | None -> ());
+  l1 + l2
+
+let rmw_word t ~now ~proc ~cmap:cm ~vaddr f =
+  let vpage, off = split_vaddr t vaddr in
+  let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+  let frame = entry.Pmap.frame in
+  let l2 =
+    Xbar.word_access (config t) (Machine.modules t.machine) ~now:(now + l1) ~proc
+      ~mem_module:(Frame.mem_module frame) Xbar.Rmw
+  in
+  let old = Frame.get frame off in
+  Frame.set frame off (f old);
+  (match Cmap.find cm ~vpage with
+  | Some ce -> after_write t ~proc ~vaddr ce.Cmap.cpage
+  | None -> ());
+  (old, l1 + l2)
+
+let block_loop t ~now ~proc ~cmap:cm ~vaddr ~len ~write ~kind ~per_chunk =
+  if len < 0 then invalid_arg "Coherent.block op: negative length";
+  let pw = page_words t in
+  let lat = ref 0 in
+  let pos = ref 0 in
+  while !pos < len do
+    let va = vaddr + !pos in
+    let vpage = va / pw and off = va mod pw in
+    let chunk = min (pw - off) (len - !pos) in
+    let entry, l1 = translate t ~now:(now + !lat) ~proc ~cmap:cm ~vpage ~write in
+    let frame = entry.Pmap.frame in
+    let l2 =
+      Xbar.block_words (config t) (Machine.modules t.machine) ~now:(now + !lat + l1) ~proc
+        ~mem_module:(Frame.mem_module frame) kind ~words:chunk
+    in
+    per_chunk ~frame ~off ~pos:!pos ~chunk;
+    lat := !lat + l1 + l2;
+    pos := !pos + chunk
+  done;
+  !lat
+
+let block_read t ~now ~proc ~cmap:cm ~vaddr ~len =
+  let out = Array.make (max len 0) 0 in
+  let per_chunk ~frame ~off ~pos ~chunk =
+    for i = 0 to chunk - 1 do
+      out.(pos + i) <- Frame.get frame (off + i)
+    done
+  in
+  let lat =
+    block_loop t ~now ~proc ~cmap:cm ~vaddr ~len ~write:false ~kind:Xbar.Read ~per_chunk
+  in
+  (out, lat)
+
+let block_write t ~now ~proc ~cmap:cm ~vaddr data =
+  let per_chunk ~frame ~off ~pos ~chunk =
+    for i = 0 to chunk - 1 do
+      Frame.set frame (off + i) data.(pos + i)
+    done
+  in
+  let lat =
+    block_loop t ~now ~proc ~cmap:cm ~vaddr ~len:(Array.length data) ~write:true ~kind:Xbar.Write
+      ~per_chunk
+  in
+  (* Block writes bypass the caches but still make cached copies stale. *)
+  if Machine.caches_enabled t.machine then
+    Machine.invalidate_cached_range_all t.machine ~addr:vaddr ~words:(Array.length data);
+  lat
+
+let set_probe t probe = t.probe <- probe
+let set_freeze_hook t hook = t.freeze_hook <- hook
+
+let daemon_thaw t ~now page =
+  t.in_daemon <- true;
+  thaw_page t ~now page;
+  t.in_daemon <- false
+type advice =
+  | Advise_freeze
+  | Advise_thaw
+  | Advise_home of int
+
+(* Collapse a page's directory to one copy, preferring module [keep_on]
+   (allocating there if needed); shoots down every translation. *)
+let collapse_to t ~now ~proc ~keep_on (page : Cpage.t) =
+  let lat = ref 0 in
+  let cfg = config t in
+  let chosen =
+    match Cpage.local_copy page keep_on with
+    | Some f -> Some f
+    | None -> (
+      match Phys_mem.alloc_local t.phys ~mem_module:keep_on ~cpage:page.Cpage.id with
+      | None -> (match page.Cpage.copies with [] -> None | f :: _ -> Some f)
+      | Some fresh ->
+        lat := !lat + cfg.Config.alloc_map_remote_ns;
+        if Cpage.ncopies page = 0 then begin
+          lat :=
+            !lat
+            + Xbar.zero_fill cfg (Machine.modules t.machine) ~now:(now + !lat)
+                ~dst:keep_on ~words:(page_words t);
+          Frame.fill_zero fresh
+        end
+        else begin
+          let src = Cpage.any_copy page in
+          lat :=
+            !lat
+            + Xbar.block_copy cfg (Machine.modules t.machine) ~now:(now + !lat)
+                ~src:(Frame.mem_module src) ~dst:keep_on ~words:(page_words t);
+          Frame.blit_from ~src ~dst:fresh
+        end;
+        Cpage.add_copy page fresh;
+        Some fresh)
+  in
+  match chosen with
+  | None -> !lat (* truly out of memory and no copies: nothing to do *)
+  | Some keep ->
+    let r =
+      Shootdown.run ~machine:t.machine ~counters:t.counters ~atcs:t.atcs ~now:(now + !lat)
+        ~initiator:proc ~mappings:(mappings_of t page) ~directive:Cmap.Invalidate ~spare:None
+    in
+    lat := !lat + r.Shootdown.latency;
+    List.iter
+      (fun f ->
+        if f != keep then begin
+          Cpage.remove_copy page f;
+          Phys_mem.free t.phys f;
+          lat := !lat + cfg.Config.page_free_ns;
+          t.counters.Counters.pages_freed <- t.counters.Counters.pages_freed + 1
+        end)
+      page.Cpage.copies;
+    page.Cpage.write_mapped <- false;
+    Cpage.sync_state page;
+    !lat
+
+let advise t ~now ~proc ~cmap:cm ~vpage advice =
+  let centry =
+    match Cmap.find cm ~vpage with
+    | Some e -> e
+    | None -> raise (Fault.Unmapped { aspace = Cmap.aspace cm; vpage })
+  in
+  let page = centry.Cmap.cpage in
+  let cfg = config t in
+  match advice with
+  | Advise_thaw ->
+    thaw_page t ~now page;
+    cfg.Config.map_existing_ns
+  | Advise_freeze ->
+    if page.Cpage.frozen then 0
+    else begin
+      let lat = collapse_to t ~now ~proc ~keep_on:page.Cpage.home page in
+      freeze_page t ~now page;
+      lat + cfg.Config.map_existing_ns
+    end
+  | Advise_home m ->
+    if m < 0 || m >= Machine.nprocs t.machine then invalid_arg "Coherent.advise: no such module";
+    if Cpage.ncopies page = 1 && Cpage.has_copy_on page m then 0
+    else collapse_to t ~now ~proc ~keep_on:m page
+
+let frozen_pages t = t.frozen_list
+let iter_cpages f t = Hashtbl.iter (fun _ p -> f p) t.cpages
+let n_cpages t = Hashtbl.length t.cpages
+
+let check_invariants t =
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  iter_cpages
+    (fun page ->
+      (match Cpage.check_invariants page with
+      | Ok () -> ()
+      | Error e -> fail "%s" e);
+      (* Directory frames must be owned by this page. *)
+      List.iter
+        (fun f ->
+          if Frame.owner f <> Some page.Cpage.id then
+            fail "cpage %d: directory frame not owned by page" page.Cpage.id)
+        page.Cpage.copies;
+      if page.Cpage.frozen && not (List.memq page t.frozen_list) then
+        fail "cpage %d: frozen but not on the frozen list" page.Cpage.id)
+    t;
+  Hashtbl.iter
+    (fun _ cm ->
+      Cmap.iter
+        (fun vpage ce ->
+          let page = ce.Cmap.cpage in
+          Procset.iter
+            (fun p ->
+              match Pmap.find (Cmap.pmap cm ~proc:p) ~vpage with
+              | None -> fail "aspace %d vpage %d: proc %d in refmask without Pmap entry"
+                          (Cmap.aspace cm) vpage p
+              | Some e ->
+                if not (List.memq e.Pmap.frame page.Cpage.copies) then
+                  fail "aspace %d vpage %d: proc %d maps a frame outside the directory"
+                    (Cmap.aspace cm) vpage p
+                else if e.Pmap.write_ok && not page.Cpage.write_mapped then
+                  fail "aspace %d vpage %d: proc %d holds a write translation on a non-write-mapped page"
+                    (Cmap.aspace cm) vpage p
+                else if e.Pmap.write_ok && Cpage.ncopies page > 1 then
+                  fail "aspace %d vpage %d: write translation with %d copies" (Cmap.aspace cm)
+                    vpage (Cpage.ncopies page))
+            ce.Cmap.refmask)
+        cm)
+    t.cmaps;
+  match !error with
+  | None -> Ok ()
+  | Some e -> Error e

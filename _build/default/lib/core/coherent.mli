@@ -1,0 +1,145 @@
+(** The coherent memory system: Cpage table, Cmaps, fault handling,
+    replication policy, and the freeze/thaw machinery, assembled.
+
+    This is the machine-dependent layer that replaces the Mach pmap module
+    (§1.1): above it sits the VM system (memory objects, address spaces);
+    below it sit physical memory and the machine model.
+
+    All operations take [now] and return a latency in nanoseconds; the
+    kernel charges that latency to the issuing processor. *)
+
+type t
+
+val create :
+  Platinum_machine.Machine.t ->
+  engine:Platinum_sim.Engine.t ->
+  policy:Policy.t ->
+  ?frames_per_module:int ->
+  unit ->
+  t
+(** [frames_per_module] defaults to 1024 (4 MB of 4 KB pages per node, as
+    on the Butterfly Plus). *)
+
+val machine : t -> Platinum_machine.Machine.t
+val config : t -> Platinum_machine.Config.t
+val phys : t -> Platinum_phys.Phys_mem.t
+val counters : t -> Counters.t
+val policy : t -> Policy.t
+val page_words : t -> int
+
+(* --- address spaces and pages --- *)
+
+val new_aspace : t -> Cmap.t
+val cmap : t -> aspace:int -> Cmap.t
+val new_cpage : t -> ?home:int -> ?label:string -> unit -> Cpage.t
+
+val bind : t -> Cmap.t -> vpage:int -> Cpage.t -> Rights.t -> unit
+(** Install a virtual-to-coherent mapping in an address space. *)
+
+val unbind : t -> now:Platinum_sim.Time_ns.t -> Cmap.t -> vpage:int -> int
+(** Remove a mapping, shooting down any translations.  Returns latency. *)
+
+val mappings_of : t -> Cpage.t -> (Cmap.t * int) list
+
+val activate : t -> now:Platinum_sim.Time_ns.t -> proc:int -> aspace:int -> int
+(** Make [aspace] current on [proc] (ATC flush + Cmap bookkeeping).
+    Returns latency (0 if already active). *)
+
+(* --- the access paths --- *)
+
+val translate :
+  t ->
+  now:Platinum_sim.Time_ns.t ->
+  proc:int ->
+  cmap:Cmap.t ->
+  vpage:int ->
+  write:bool ->
+  Pmap.entry * int
+(** ATC hit: latency 0.  ATC miss, Pmap hit: ATC reload.  Otherwise the
+    {!Fault} handler runs.  Raises {!Fault.Unmapped} when the VM layer must
+    intervene. *)
+
+val read_word :
+  t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int -> int * int
+(** [(value, latency)]. *)
+
+val write_word :
+  t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int -> int -> int
+
+val rmw_word :
+  t ->
+  now:Platinum_sim.Time_ns.t ->
+  proc:int ->
+  cmap:Cmap.t ->
+  vaddr:int ->
+  (int -> int) ->
+  int * int
+(** Atomic read-modify-write of one word; returns [(old value, latency)]. *)
+
+val block_read :
+  t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int -> len:int -> int array * int
+
+val block_write :
+  t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int -> int array -> int
+
+(* --- placement advice (the §9 hint interface) --- *)
+
+(** The paper (§9): "it is not hard to construct scenarios in which
+    better performance could be obtained if the interface between the
+    application and the memory management system were not so
+    transparent.  The kernel interface will be extended to support
+    these... utilized primarily by programming languages and their
+    run-time support."  Advice never changes semantics — only placement:
+
+    - [Advise_freeze]: the caller knows the page is fine-grain
+      write-shared; freeze it immediately instead of discovering that
+      through a round of invalidation thrash.
+    - [Advise_thaw]: the caller knows a phase change happened; thaw now
+      rather than waiting for the defrost daemon.
+    - [Advise_home m]: collapse the page to a single copy on module [m]
+      (a placement directive for frozen or never-replicated data). *)
+type advice =
+  | Advise_freeze
+  | Advise_thaw
+  | Advise_home of int
+
+val advise :
+  t ->
+  now:Platinum_sim.Time_ns.t ->
+  proc:int ->
+  cmap:Cmap.t ->
+  vpage:int ->
+  advice ->
+  int
+(** Apply advice to one page; returns the latency of the kernel work it
+    triggered.  Raises {!Fault.Unmapped} if the page is not bound. *)
+
+(* --- freeze / thaw --- *)
+
+val freeze_page : t -> now:Platinum_sim.Time_ns.t -> Cpage.t -> unit
+val thaw_page : t -> now:Platinum_sim.Time_ns.t -> Cpage.t -> unit
+(** Thaw one page: invalidate all its translations (charged to the page's
+    home processor as daemon work) so the next access may replicate it. *)
+
+val thaw_all : t -> now:Platinum_sim.Time_ns.t -> unit
+(** What the defrost daemon does every t2. *)
+
+val frozen_pages : t -> Cpage.t list
+
+val set_probe : t -> Probe.t option -> unit
+(** Install (or remove) the instrumentation callback; see {!Probe}. *)
+
+val set_freeze_hook : t -> (now:Platinum_sim.Time_ns.t -> Cpage.t -> unit) option -> unit
+(** Internal notification used by the adaptive defrost daemon: called
+    whenever the policy freezes a page. *)
+
+val daemon_thaw : t -> now:Platinum_sim.Time_ns.t -> Cpage.t -> unit
+(** {!thaw_page}, attributed to the defrost daemon in probe events. *)
+
+(* --- introspection --- *)
+
+val iter_cpages : (Cpage.t -> unit) -> t -> unit
+val n_cpages : t -> int
+val check_invariants : t -> (unit, string) result
+(** Machine-wide consistency: every Cpage invariant, plus agreement between
+    reference masks, Pmaps, ATCs and directories. *)

@@ -1,0 +1,148 @@
+module Frame = Platinum_phys.Frame
+module Procset = Platinum_machine.Procset
+
+type state =
+  | Empty
+  | Present1
+  | Present_plus
+  | Modified
+
+type stats = {
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable replications : int;
+  mutable migrations : int;
+  mutable invalidations : int;
+  mutable restrictions : int;
+  mutable freezes : int;
+  mutable thaws : int;
+  mutable remote_maps : int;
+  mutable fault_wait_ns : int;
+  mutable ever_written : bool;
+  mutable was_frozen : bool;
+}
+
+type t = {
+  id : int;
+  home : int;
+  mutable state : state;
+  mutable copies : Frame.t list;
+  mutable copy_mask : Procset.t;
+  mutable write_mapped : bool;
+  mutable last_protocol_inval : Platinum_sim.Time_ns.t;
+  mutable frozen : bool;
+  mutable frozen_at : Platinum_sim.Time_ns.t;
+  mutable last_thaw_at : Platinum_sim.Time_ns.t;
+  mutable adaptive_t2 : Platinum_sim.Time_ns.t;
+  stats : stats;
+  mutable label : string;
+}
+
+let never_invalidated = min_int / 4
+
+let fresh_stats () =
+  {
+    read_faults = 0;
+    write_faults = 0;
+    replications = 0;
+    migrations = 0;
+    invalidations = 0;
+    restrictions = 0;
+    freezes = 0;
+    thaws = 0;
+    remote_maps = 0;
+    fault_wait_ns = 0;
+    ever_written = false;
+    was_frozen = false;
+  }
+
+let create ~id ~home ?(label = "") () =
+  {
+    id;
+    home;
+    state = Empty;
+    copies = [];
+    copy_mask = Procset.empty;
+    write_mapped = false;
+    last_protocol_inval = never_invalidated;
+    frozen = false;
+    frozen_at = 0;
+    last_thaw_at = never_invalidated;
+    adaptive_t2 = 0;
+    stats = fresh_stats ();
+    label;
+  }
+
+let ncopies t = List.length t.copies
+let has_copy_on t m = Procset.mem m t.copy_mask
+
+let local_copy t m =
+  if not (has_copy_on t m) then None
+  else List.find_opt (fun f -> Frame.mem_module f = m) t.copies
+
+let any_copy t =
+  match t.copies with
+  | [] -> invalid_arg "Cpage.any_copy: empty page"
+  | f :: _ -> f
+
+let add_copy t frame =
+  let m = Frame.mem_module frame in
+  if has_copy_on t m then
+    invalid_arg (Printf.sprintf "Cpage.add_copy: module %d already backs cpage %d" m t.id);
+  t.copies <- frame :: t.copies;
+  t.copy_mask <- Procset.add m t.copy_mask
+
+let remove_copy t frame =
+  let m = Frame.mem_module frame in
+  if not (List.memq frame t.copies) then
+    invalid_arg (Printf.sprintf "Cpage.remove_copy: frame not in directory of cpage %d" t.id);
+  t.copies <- List.filter (fun f -> f != frame) t.copies;
+  t.copy_mask <- Procset.remove m t.copy_mask
+
+let derived_state t =
+  match t.copies, t.write_mapped with
+  | [], false -> Empty
+  | [], true -> Empty (* unreachable if invariants hold *)
+  | [ _ ], true -> Modified
+  | [ _ ], false -> Present1
+  | _ :: _ :: _, _ -> Present_plus
+
+let sync_state t = t.state <- derived_state t
+
+let state_to_string = function
+  | Empty -> "empty"
+  | Present1 -> "present1"
+  | Present_plus -> "present+"
+  | Modified -> "modified"
+
+let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
+
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "cpage %d: %s" t.id s)) fmt in
+  let mask_of_list =
+    List.fold_left (fun acc f -> Procset.add (Frame.mem_module f) acc) Procset.empty t.copies
+  in
+  if not (Procset.equal mask_of_list t.copy_mask) then err "copy mask disagrees with copy list"
+  else if List.length t.copies <> Procset.cardinal t.copy_mask then
+    err "two copies share a memory module"
+  else if t.state <> derived_state t then
+    err "state %s but directory implies %s" (state_to_string t.state)
+      (state_to_string (derived_state t))
+  else if t.write_mapped && List.length t.copies > 1 then
+    err "write mapping coexists with %d copies" (List.length t.copies)
+  else if t.frozen && List.length t.copies > 1 then err "frozen page has multiple copies"
+  else begin
+    (* All read-only replicas must agree word-for-word. *)
+    match t.copies with
+    | [] | [ _ ] -> Ok ()
+    | first :: rest ->
+      if List.for_all (fun f -> Frame.equal_data first f) rest then Ok ()
+      else err "replica data differs between modules"
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "cpage %d%s: %a, copies=%a%s%s" t.id
+    (if t.label = "" then "" else Printf.sprintf " (%s)" t.label)
+    pp_state t.state Procset.pp t.copy_mask
+    (if t.write_mapped then ", write-mapped" else "")
+    (if t.frozen then ", FROZEN" else "")

@@ -1,0 +1,102 @@
+(** Coherent pages: the unit of the PLATINUM data-coherency protocol.
+
+    Each coherent page is backed by a *set* of physical pages in distinct
+    memory modules, tracked by a directory (a module bit mask plus the list
+    of frames, §2.3).  A Cpage is in one of four states (§3.2):
+
+    - [Empty]: no physical pages, no translations.
+    - [Present1]: exactly one physical page; every virtual-to-physical
+      translation is restricted to read access.
+    - [Present_plus]: two or more physical pages in different modules; all
+      translations read-only.
+    - [Modified]: one physical page; at least one translation allows
+      writes.
+
+    The state is stored explicitly (as in the kernel) but is fully
+    determined by the directory and the write-mapping flag;
+    [check_invariants] verifies agreement, along with replica data
+    equality. *)
+
+type state =
+  | Empty
+  | Present1
+  | Present_plus
+  | Modified
+
+(** Per-page instrumentation, mirroring the kernel's post-mortem report
+    (§4.2): faults, a contention measure for the fault handler, and whether
+    the replication policy froze the page. *)
+type stats = {
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable replications : int;
+  mutable migrations : int;
+  mutable invalidations : int;  (** protocol invalidation events *)
+  mutable restrictions : int;
+  mutable freezes : int;
+  mutable thaws : int;
+  mutable remote_maps : int;
+  mutable fault_wait_ns : int;  (** queueing observed inside the fault handler *)
+  mutable ever_written : bool;
+  mutable was_frozen : bool;  (** frozen at least once during the run *)
+}
+
+type t = {
+  id : int;
+  home : int;  (** memory module holding this entry's metadata *)
+  mutable state : state;
+  mutable copies : Platinum_phys.Frame.t list;  (** the directory's page list *)
+  mutable copy_mask : Platinum_machine.Procset.t;
+      (** modules holding a backing page (the directory's bit mask) *)
+  mutable write_mapped : bool;
+      (** some translation grants write access *)
+  mutable last_protocol_inval : Platinum_sim.Time_ns.t;
+      (** most recent invalidation *by the coherency protocol*; defrost
+          invalidations deliberately do not update this *)
+  mutable frozen : bool;
+  mutable frozen_at : Platinum_sim.Time_ns.t;  (** when the current freeze began *)
+  mutable last_thaw_at : Platinum_sim.Time_ns.t;
+  mutable adaptive_t2 : Platinum_sim.Time_ns.t;
+      (** per-page thaw delay maintained by the adaptive defrost daemon;
+          0 until first frozen *)
+  stats : stats;
+  mutable label : string;  (** what the application stored here, for reports *)
+}
+
+val never_invalidated : Platinum_sim.Time_ns.t
+(** Initial [last_protocol_inval]: far enough in the past that a fresh page
+    is always eligible for replication. *)
+
+val create : id:int -> home:int -> ?label:string -> unit -> t
+
+val fresh_stats : unit -> stats
+
+val ncopies : t -> int
+
+val has_copy_on : t -> int -> bool
+(** [has_copy_on t m] — does module [m] back this page? *)
+
+val local_copy : t -> int -> Platinum_phys.Frame.t option
+(** Backing frame on the given module, if any (directory list scan; the
+    kernel uses the module's inverted page table for this, see
+    {!Platinum_phys.Inverted_table}). *)
+
+val any_copy : t -> Platinum_phys.Frame.t
+(** Some backing frame.  Raises [Invalid_argument] on an [Empty] page. *)
+
+val add_copy : t -> Platinum_phys.Frame.t -> unit
+val remove_copy : t -> Platinum_phys.Frame.t -> unit
+
+val derived_state : t -> state
+(** The state implied by the directory and write flag. *)
+
+val sync_state : t -> unit
+(** Recompute [state] from the directory (call after directory edits). *)
+
+val check_invariants : t -> (unit, string) result
+(** Verify state/directory agreement, copy-mask/copy-list agreement,
+    single-copy-per-module, and data equality of replicas. *)
+
+val state_to_string : state -> string
+val pp_state : Format.formatter -> state -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type entry = {
+  frame : Platinum_phys.Frame.t;
+  mutable write_ok : bool;
+}
+
+type t = {
+  pmap_proc : int;
+  entries : (int, entry) Hashtbl.t;
+}
+
+let create ~proc = { pmap_proc = proc; entries = Hashtbl.create 64 }
+let proc t = t.pmap_proc
+let find t ~vpage = Hashtbl.find_opt t.entries vpage
+
+let install t ~vpage ~frame ~write_ok =
+  let e = { frame; write_ok } in
+  Hashtbl.replace t.entries vpage e;
+  e
+
+let remove t ~vpage = Hashtbl.remove t.entries vpage
+
+let restrict t ~vpage =
+  match Hashtbl.find_opt t.entries vpage with
+  | None -> ()
+  | Some e -> e.write_ok <- false
+
+let clear t = Hashtbl.reset t.entries
+let size t = Hashtbl.length t.entries
+let iter f t = Hashtbl.iter f t.entries

@@ -1,0 +1,149 @@
+type decision =
+  | Replicate
+  | Remote_map
+
+type fault_kind =
+  | Read_fault
+  | Write_fault
+
+type hooks = {
+  freeze : now:Platinum_sim.Time_ns.t -> Cpage.t -> unit;
+  thaw : now:Platinum_sim.Time_ns.t -> Cpage.t -> unit;
+}
+
+type kind =
+  | Platinum of { thaw_on_fault : bool }
+  | Always_replicate
+  | Never_move
+  | Migrate_only
+  | Bolosky of { max_migrations : int }
+  | Uniform_system
+  | Competitive of { threshold : int }
+
+type t = {
+  name : string;
+  kind : kind;
+  uses_defrost : bool;
+  scatter_placement : bool;
+  decide : hooks -> now:Platinum_sim.Time_ns.t -> fault_kind -> Cpage.t -> decision;
+}
+
+let platinum_decide ~t1 ~thaw_on_fault hooks ~now _kind (page : Cpage.t) =
+  if page.Cpage.frozen then
+    if thaw_on_fault && now - page.Cpage.last_protocol_inval >= t1 then begin
+      hooks.thaw ~now page;
+      Replicate
+    end
+    else Remote_map
+  else if now - page.Cpage.last_protocol_inval < t1 then begin
+    (* Recent protocol invalidation: the page is being actively
+       write-shared; caching it would cost more than remote access. *)
+    hooks.freeze ~now page;
+    Remote_map
+  end
+  else Replicate
+
+let bolosky_decide ~max_migrations _hooks ~now:_ kind (page : Cpage.t) =
+  match kind with
+  | Read_fault -> if page.Cpage.stats.Cpage.ever_written then Remote_map else Replicate
+  | Write_fault ->
+    if page.Cpage.stats.Cpage.migrations < max_migrations then Replicate else Remote_map
+
+let competitive_decide ~threshold interest _hooks ~now:_ _kind (page : Cpage.t) =
+  let id = page.Cpage.id in
+  let n = 1 + (try Hashtbl.find interest id with Not_found -> 0) in
+  if n >= threshold then begin
+    Hashtbl.replace interest id 0;
+    Replicate
+  end
+  else begin
+    Hashtbl.replace interest id n;
+    Remote_map
+  end
+
+let make ~t1 kind =
+  match kind with
+  | Platinum { thaw_on_fault } ->
+    {
+      name = (if thaw_on_fault then "platinum-thaw" else "platinum");
+      kind;
+      uses_defrost = true;
+      scatter_placement = false;
+      decide = (fun hooks ~now k page -> platinum_decide ~t1 ~thaw_on_fault hooks ~now k page);
+    }
+  | Always_replicate ->
+    {
+      name = "always-replicate";
+      kind;
+      uses_defrost = false;
+      scatter_placement = false;
+      decide = (fun _ ~now:_ _ _ -> Replicate);
+    }
+  | Never_move ->
+    {
+      name = "static-place";
+      kind;
+      uses_defrost = false;
+      scatter_placement = false;
+      decide = (fun _ ~now:_ _ _ -> Remote_map);
+    }
+  | Uniform_system ->
+    {
+      name = "uniform-system";
+      kind;
+      uses_defrost = false;
+      scatter_placement = true;
+      decide = (fun _ ~now:_ _ _ -> Remote_map);
+    }
+  | Migrate_only ->
+    {
+      name = "migrate-only";
+      kind;
+      uses_defrost = false;
+      scatter_placement = false;
+      decide =
+        (fun _ ~now:_ k _ ->
+          match k with
+          | Read_fault -> Remote_map
+          | Write_fault -> Replicate);
+    }
+  | Bolosky { max_migrations } ->
+    {
+      name = "bolosky";
+      kind;
+      uses_defrost = false;
+      scatter_placement = false;
+      decide = (fun hooks ~now k page -> bolosky_decide ~max_migrations hooks ~now k page);
+    }
+  | Competitive { threshold } ->
+    let interest : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    {
+      name = "competitive";
+      kind;
+      uses_defrost = false;
+      scatter_placement = false;
+      decide = (fun hooks ~now k page -> competitive_decide ~threshold interest hooks ~now k page);
+    }
+
+let default_names =
+  [
+    "platinum";
+    "platinum-thaw";
+    "always-replicate";
+    "static-place";
+    "uniform-system";
+    "migrate-only";
+    "bolosky";
+    "competitive";
+  ]
+
+let of_string ~t1 = function
+  | "platinum" -> Ok (make ~t1 (Platinum { thaw_on_fault = false }))
+  | "platinum-thaw" -> Ok (make ~t1 (Platinum { thaw_on_fault = true }))
+  | "always-replicate" -> Ok (make ~t1 Always_replicate)
+  | "static-place" -> Ok (make ~t1 Never_move)
+  | "uniform-system" -> Ok (make ~t1 Uniform_system)
+  | "migrate-only" -> Ok (make ~t1 Migrate_only)
+  | "bolosky" -> Ok (make ~t1 (Bolosky { max_migrations = 4 }))
+  | "competitive" -> Ok (make ~t1 (Competitive { threshold = 3 }))
+  | s -> Error (Printf.sprintf "unknown policy %S (expected one of: %s)" s (String.concat ", " default_names))

@@ -1,0 +1,74 @@
+(** Replication policies (§4.2, §8).
+
+    On every miss with no local copy the Cpage system can either *replicate*
+    (or migrate, on a write) the page to the faulting processor's memory, or
+    create a *remote mapping* to an existing physical page — in effect
+    selectively disabling caching for that page.  A policy makes that
+    choice; PLATINUM's interim policy freezes pages that were invalidated by
+    the protocol within the last [t1]. *)
+
+type decision =
+  | Replicate
+      (** Make a local copy (read miss) / migrate the page (write miss). *)
+  | Remote_map  (** Map an existing physical page across the switch. *)
+
+type fault_kind =
+  | Read_fault
+  | Write_fault
+
+(** Callbacks into the Cpage system so policies can freeze and thaw. *)
+type hooks = {
+  freeze : now:Platinum_sim.Time_ns.t -> Cpage.t -> unit;
+  thaw : now:Platinum_sim.Time_ns.t -> Cpage.t -> unit;
+}
+
+type kind =
+  | Platinum of { thaw_on_fault : bool }
+      (** The paper's policy.  Freeze on a fault within [t1] of the last
+          protocol invalidation.  With [thaw_on_fault = false] (the paper's
+          default) a frozen page stays frozen until the defrost daemon thaws
+          it; with [true] a fault after the [t1] window thaws it (the
+          alternative policy of §4.2). *)
+  | Always_replicate  (** Never freeze: replicate/migrate on every miss. *)
+  | Never_move
+      (** Static placement: pages stay wherever first touch put them; every
+          other processor uses remote mappings (the Uniform-System-like
+          baseline). *)
+  | Migrate_only
+      (** Migrate on write misses, but never replicate for reads
+          (Scheurich/DuBois-style migration without replication). *)
+  | Bolosky of { max_migrations : int }
+      (** Bolosky et al.'s simple NUMA-Mach scheme: replicate only
+          never-written pages; let a written page migrate at most
+          [max_migrations] times, then freeze it permanently. *)
+  | Uniform_system
+      (** The Figure 1 baseline: data pages are scattered round-robin
+          across memory modules (the Uniform System's placement) and are
+          never moved — every non-resident access is remote. *)
+  | Competitive of { threshold : int }
+      (** Black, Gupta and Weber's competitive management (§8): move a
+          page only once enough remote use has accrued to pay for the
+          move.  The real scheme counts references with hardware
+          counters; lacking those (the paper's very objection), this is
+          the software approximation: a page is remote-mapped until
+          [threshold] misses have accumulated since it last moved, then
+          replicated/migrated. *)
+
+type t = {
+  name : string;
+  kind : kind;
+  uses_defrost : bool;  (** should the defrost daemon run? *)
+  scatter_placement : bool;
+      (** place first-touch pages round-robin by page id instead of on
+          the faulting processor's module *)
+  decide : hooks -> now:Platinum_sim.Time_ns.t -> fault_kind -> Cpage.t -> decision;
+}
+
+val make : t1:Platinum_sim.Time_ns.t -> kind -> t
+(** [t1] is the freeze window used by [Platinum] (and ignored by others). *)
+
+val default_names : string list
+val of_string : t1:Platinum_sim.Time_ns.t -> string -> (t, string) result
+(** Parse a policy name for CLIs: ["platinum"], ["platinum-thaw"],
+    ["always-replicate"], ["static-place"], ["uniform-system"],
+    ["migrate-only"], ["bolosky"]. *)

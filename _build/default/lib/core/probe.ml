@@ -1,0 +1,31 @@
+type event =
+  | Read_fault of { cpage : int; proc : int }
+  | Write_fault of { cpage : int; proc : int }
+  | Replicated of { cpage : int; to_module : int; copies : int }
+  | Migrated of { cpage : int; to_module : int }
+  | Remote_mapped of { cpage : int; proc : int; frozen : bool }
+  | Invalidated of { cpage : int; interrupted : int }
+  | Restricted of { cpage : int; interrupted : int }
+  | Frozen of { cpage : int }
+  | Thawed of { cpage : int; by_daemon : bool }
+
+type t = now:Platinum_sim.Time_ns.t -> event -> unit
+
+let pp_event fmt = function
+  | Read_fault { cpage; proc } -> Format.fprintf fmt "read fault: cpage %d by proc %d" cpage proc
+  | Write_fault { cpage; proc } ->
+    Format.fprintf fmt "write fault: cpage %d by proc %d" cpage proc
+  | Replicated { cpage; to_module; copies } ->
+    Format.fprintf fmt "replicated: cpage %d to module %d (%d copies)" cpage to_module copies
+  | Migrated { cpage; to_module } ->
+    Format.fprintf fmt "migrated: cpage %d to module %d" cpage to_module
+  | Remote_mapped { cpage; proc; frozen } ->
+    Format.fprintf fmt "remote map: cpage %d for proc %d%s" cpage proc
+      (if frozen then " (frozen)" else "")
+  | Invalidated { cpage; interrupted } ->
+    Format.fprintf fmt "invalidated: cpage %d (%d processors interrupted)" cpage interrupted
+  | Restricted { cpage; interrupted } ->
+    Format.fprintf fmt "restricted: cpage %d (%d processors interrupted)" cpage interrupted
+  | Frozen { cpage } -> Format.fprintf fmt "FROZE cpage %d" cpage
+  | Thawed { cpage; by_daemon } ->
+    Format.fprintf fmt "thawed cpage %d%s" cpage (if by_daemon then " (defrost daemon)" else "")

@@ -1,0 +1,25 @@
+(** Protocol event probes — the kernel instrumentation interface (§9).
+
+    The paper: "We are also adding an instrumentation interface to the
+    kernel to help interpret its behavior... useful to application
+    programmers, compiler writers, and system implementors."  A probe is a
+    callback invoked synchronously at each protocol event; {!Platinum_stats.Trace}
+    builds timelines on top of it, and tests use it to assert exact event
+    sequences. *)
+
+type event =
+  | Read_fault of { cpage : int; proc : int }
+  | Write_fault of { cpage : int; proc : int }
+  | Replicated of { cpage : int; to_module : int; copies : int }
+  | Migrated of { cpage : int; to_module : int }
+  | Remote_mapped of { cpage : int; proc : int; frozen : bool }
+  | Invalidated of { cpage : int; interrupted : int }
+      (** a protocol invalidation (write-sharing) *)
+  | Restricted of { cpage : int; interrupted : int }
+      (** write mappings demoted to read-only for a replication *)
+  | Frozen of { cpage : int }
+  | Thawed of { cpage : int; by_daemon : bool }
+
+type t = now:Platinum_sim.Time_ns.t -> event -> unit
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,79 @@
+module Machine = Platinum_machine.Machine
+module Procset = Platinum_machine.Procset
+
+type outcome = {
+  latency : int;
+  interrupted : int;
+  deferred : int;
+}
+
+let run ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~spare =
+  let config = Machine.config machine in
+  let t = ref now in
+  let to_interrupt = ref Procset.empty in
+  let deferred = ref 0 in
+  let apply_one (cmap : Cmap.t) vpage proc =
+    let pmap = Cmap.pmap cmap ~proc in
+    (match directive with
+    | Cmap.Restrict_to_read -> Pmap.restrict pmap ~vpage
+    | Cmap.Invalidate ->
+      Pmap.remove pmap ~vpage;
+      Atc.invalidate atcs.(proc) ~aspace:(Cmap.aspace cmap) ~vpage;
+      (* §7 local caches are kept coherent in software: losing the
+         translation also drops any cached lines of the page. *)
+      let pw = config.Platinum_machine.Config.page_words in
+      Machine.invalidate_cached_range machine ~proc ~addr:(vpage * pw) ~words:pw);
+    (* The initiator applies its own update directly; remote holders are
+       either interrupted now or will drain the queue on activation. *)
+    if proc <> initiator then
+      if Procset.mem proc (Cmap.active cmap) then to_interrupt := Procset.add proc !to_interrupt
+      else incr deferred
+  in
+  List.iter
+    (fun ((cmap : Cmap.t), vpage) ->
+      match Cmap.find cmap ~vpage with
+      | None -> ()
+      | Some centry ->
+        let is_spared p =
+          match spare with
+          | Some (sc, sv) -> sc == cmap && sv = vpage && p = initiator
+          | None -> false
+        in
+        let targets = Procset.fold (fun p acc -> if is_spared p then acc else Procset.add p acc)
+            centry.Cmap.refmask Procset.empty
+        in
+        if not (Procset.is_empty targets) then begin
+          t := !t + config.Platinum_machine.Config.shootdown_post_ns;
+          counters.Counters.messages <- counters.Counters.messages + 1;
+          let msg =
+            { Cmap.msg_vpage = vpage; msg_directive = directive; msg_targets = targets }
+          in
+          Cmap.post cmap msg;
+          Procset.iter
+            (fun p ->
+              apply_one cmap vpage p;
+              Cmap.complete cmap msg ~proc:p)
+            targets;
+          (match directive with
+          | Cmap.Invalidate -> centry.Cmap.refmask <- Procset.diff centry.Cmap.refmask targets
+          | Cmap.Restrict_to_read -> ())
+        end)
+    mappings;
+  (* Interrupt each target once, serially; wait for all acknowledgements. *)
+  let to_interrupt = Procset.remove initiator !to_interrupt in
+  let last_ack = ref !t in
+  Procset.iter
+    (fun p ->
+      t := !t + config.Platinum_machine.Config.ipi_send_ns;
+      Machine.count_ipi machine;
+      let can_take = max !t (Machine.proc_busy_until machine ~proc:p) in
+      let ack = can_take + config.Platinum_machine.Config.sync_handler_ns in
+      Machine.add_penalty machine ~proc:p config.Platinum_machine.Config.sync_handler_ns;
+      if ack > !last_ack then last_ack := ack)
+    to_interrupt;
+  let finish = max !t !last_ack in
+  let n_int = Procset.cardinal to_interrupt in
+  counters.Counters.shootdowns <- counters.Counters.shootdowns + 1;
+  counters.Counters.interrupts <- counters.Counters.interrupts + n_int;
+  counters.Counters.deferred_updates <- counters.Counters.deferred_updates + !deferred;
+  { latency = finish - now; interrupted = n_int; deferred = !deferred }

@@ -1,0 +1,1 @@
+lib/kernel/api.ml: Eff Effect List

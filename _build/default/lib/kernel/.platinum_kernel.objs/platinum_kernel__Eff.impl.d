@@ -1,0 +1,1 @@
+lib/kernel/eff.ml: Effect Memsys

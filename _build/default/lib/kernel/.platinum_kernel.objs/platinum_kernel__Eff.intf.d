@@ -1,0 +1,1 @@
+lib/kernel/eff.mli: Effect Memsys

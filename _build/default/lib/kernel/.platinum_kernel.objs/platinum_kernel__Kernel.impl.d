@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Eff Effect Hashtbl Lazy List Memsys Option Platinum_machine Platinum_sim Printf Queue String

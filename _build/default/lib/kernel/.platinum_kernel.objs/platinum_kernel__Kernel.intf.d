@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Eff Memsys Platinum_machine Platinum_sim

@@ -1,0 +1,1 @@
+lib/kernel/memsys.mli:

@@ -1,0 +1,1 @@
+lib/kernel/platsys.ml: Array Memsys Platinum_core Platinum_machine Platinum_vm Printf

@@ -1,0 +1,1 @@
+lib/kernel/platsys.mli: Memsys Platinum_core Platinum_vm

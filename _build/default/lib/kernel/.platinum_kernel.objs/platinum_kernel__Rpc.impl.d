@@ -1,0 +1,1 @@
+lib/kernel/rpc.ml: Api Array Eff

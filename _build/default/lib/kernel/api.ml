@@ -1,0 +1,40 @@
+let read vaddr = Effect.perform (Eff.Read vaddr)
+let write vaddr v = Effect.perform (Eff.Write (vaddr, v))
+let rmw vaddr f = Effect.perform (Eff.Rmw (vaddr, f))
+let block_read vaddr len = Effect.perform (Eff.Block_read (vaddr, len))
+let block_write vaddr data = Effect.perform (Eff.Block_write (vaddr, data))
+let read_array = block_read
+let write_array = block_write
+let compute ns = if ns > 0 then Effect.perform (Eff.Compute ns)
+let now () = Effect.perform Eff.Now
+let spawn ?proc ?aspace body = Effect.perform (Eff.Spawn (body, proc, aspace))
+let join tid = Effect.perform (Eff.Join tid)
+
+let spawn_join_all ?procs bodies =
+  let place i =
+    match procs with
+    | None -> None
+    | Some [] -> None
+    | Some ps -> Some (List.nth ps (i mod List.length ps))
+  in
+  let tids = List.mapi (fun i body -> spawn ?proc:(place i) (fun () -> body i)) bodies in
+  List.iter join tids
+
+let yield () = Effect.perform Eff.Yield
+let migrate proc = Effect.perform (Eff.Migrate proc)
+let self () = Effect.perform Eff.Self
+let my_proc () = Effect.perform Eff.My_proc
+let new_port () = Effect.perform Eff.New_port
+let send port msg = Effect.perform (Eff.Port_send (port, msg))
+let recv port = Effect.perform (Eff.Port_recv port)
+let new_zone name ~pages = Effect.perform (Eff.New_zone (name, pages))
+let alloc ?(zone = 0) ?(page_aligned = false) words =
+  Effect.perform (Eff.Alloc (zone, words, page_aligned))
+
+let alloc_pages ?(zone = 0) pages = Effect.perform (Eff.Alloc_pages (zone, pages))
+let page_words () = Effect.perform Eff.Page_words
+let advise vaddr len advice = Effect.perform (Eff.Advise (vaddr, len, advice))
+let my_aspace () = Effect.perform Eff.My_aspace
+let new_aspace () = Effect.perform Eff.New_aspace
+let new_segment name ~pages = Effect.perform (Eff.New_segment (name, pages))
+let map_segment segment = Effect.perform (Eff.Map_segment segment)

@@ -1,0 +1,30 @@
+type thread_id = int
+type port_id = int
+type zone_id = int
+
+type _ Effect.t +=
+  | Read : int -> int Effect.t
+  | Write : int * int -> unit Effect.t
+  | Rmw : int * (int -> int) -> int Effect.t
+  | Block_read : int * int -> int array Effect.t
+  | Block_write : int * int array -> unit Effect.t
+  | Compute : int -> unit Effect.t
+  | Yield : unit Effect.t
+  | Spawn : (unit -> unit) * int option * int option -> thread_id Effect.t
+  | Join : thread_id -> unit Effect.t
+  | Migrate : int -> unit Effect.t
+  | Self : thread_id Effect.t
+  | My_proc : int Effect.t
+  | Now : int Effect.t
+  | New_port : port_id Effect.t
+  | Port_send : port_id * int array -> unit Effect.t
+  | Port_recv : port_id -> int array Effect.t
+  | New_zone : string * int -> zone_id Effect.t
+  | Alloc : zone_id * int * bool -> int Effect.t
+  | Alloc_pages : zone_id * int -> int Effect.t
+  | Page_words : int Effect.t
+  | Advise : int * int * Memsys.advice -> unit Effect.t
+  | My_aspace : int Effect.t
+  | New_aspace : int Effect.t
+  | New_segment : string * int -> int Effect.t
+  | Map_segment : int -> int Effect.t

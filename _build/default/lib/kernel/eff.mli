@@ -1,0 +1,49 @@
+(** The effects through which simulated threads reach the kernel.
+
+    Application code is ordinary OCaml written in direct style; every
+    interaction with simulated memory, time, or kernel services performs
+    one of these effects.  The kernel ({!Kernel}) installs the handler,
+    charges simulated time, and resumes the continuation through the
+    discrete-event engine.  Use the wrappers in {!Api} rather than
+    performing these directly. *)
+
+type thread_id = int
+type port_id = int
+type zone_id = int
+
+type _ Effect.t +=
+  | Read : int -> int Effect.t  (** read a word at a virtual address *)
+  | Write : int * int -> unit Effect.t
+  | Rmw : int * (int -> int) -> int Effect.t
+      (** atomic read-modify-write; returns the old value *)
+  | Block_read : int * int -> int array Effect.t  (** (vaddr, len) *)
+  | Block_write : int * int array -> unit Effect.t
+  | Compute : int -> unit Effect.t  (** spend n ns of local computation *)
+  | Yield : unit Effect.t
+  | Spawn : (unit -> unit) * int option * int option -> thread_id Effect.t
+      (** (body, processor hint, address-space override — None inherits
+          the spawner's; a thread executes within a single address space,
+          §1.1) *)
+  | Join : thread_id -> unit Effect.t
+  | Migrate : int -> unit Effect.t  (** move this thread to a processor *)
+  | Self : thread_id Effect.t
+  | My_proc : int Effect.t
+  | Now : int Effect.t  (** simulated time, for instrumentation *)
+  | New_port : port_id Effect.t
+  | Port_send : port_id * int array -> unit Effect.t
+  | Port_recv : port_id -> int array Effect.t
+  | New_zone : string * int -> zone_id Effect.t  (** (name, pages) *)
+  | Alloc : zone_id * int * bool -> int Effect.t
+      (** (zone, words, page-aligned); returns the virtual address *)
+  | Alloc_pages : zone_id * int -> int Effect.t
+      (** (zone, pages); whole-page, page-aligned allocation *)
+  | Page_words : int Effect.t  (** the machine's page size in words *)
+  | Advise : int * int * Memsys.advice -> unit Effect.t
+      (** (vaddr, len, advice): the §9 placement-hint interface *)
+  | My_aspace : int Effect.t
+  | New_aspace : int Effect.t  (** a fresh, empty address space *)
+  | New_segment : string * int -> int Effect.t
+      (** (name, pages): a globally named memory object *)
+  | Map_segment : int -> int Effect.t
+      (** bind a segment into the calling thread's address space; returns
+          the base vaddr there *)

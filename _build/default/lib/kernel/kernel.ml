@@ -1,0 +1,412 @@
+module Engine = Platinum_sim.Engine
+module Machine = Platinum_machine.Machine
+module Config = Platinum_machine.Config
+
+exception Deadlock of string
+exception Thread_failure of exn
+
+type thread_state =
+  | Runnable
+  | Running
+  | Blocked
+  | Finished
+
+type thread = {
+  tid : int;
+  body : unit -> unit;
+  aspace : int;  (* a thread executes within a single address space *)
+  mutable proc : int;
+  mutable state : thread_state;
+  mutable resume : (unit -> unit) option;  (* pending continuation *)
+  mutable joiners : int list;
+  mutable quantum_used : int;
+}
+
+type port = {
+  messages : int array Queue.t;
+  waiters : int Queue.t;  (* tids blocked in recv *)
+}
+
+type t = {
+  engine : Engine.t;
+  machine : Machine.t;
+  memsys : Memsys.t;
+  threads : (int, thread) Hashtbl.t;
+  runqs : int Queue.t array;
+  proc_active : bool array;  (* an event for this processor is in flight *)
+  ports : (int, port) Hashtbl.t;
+  mutable next_tid : int;
+  mutable next_pid : int;
+  mutable live : int;
+  mutable created : int;
+  mutable switches : int;
+  mutable finished_at : int;
+  mutable failure : exn option;
+  mutable place_rr : int;
+}
+
+let create ~engine ~machine ~memsys =
+  let n = Machine.nprocs machine in
+  {
+    engine;
+    machine;
+    memsys;
+    threads = Hashtbl.create 64;
+    runqs = Array.init n (fun _ -> Queue.create ());
+    proc_active = Array.make n false;
+    ports = Hashtbl.create 16;
+    next_tid = 0;
+    next_pid = 0;
+    live = 0;
+    created = 0;
+    switches = 0;
+    finished_at = 0;
+    failure = None;
+    place_rr = 0;
+  }
+
+let engine t = t.engine
+let machine t = t.machine
+let memsys t = t.memsys
+let config t = Machine.config t.machine
+let live_threads t = t.live
+let all_done t = t.live = 0 && t.created > 0
+let threads_created t = t.created
+let context_switches t = t.switches
+
+let thread t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th -> th
+  | None -> invalid_arg (Printf.sprintf "Kernel: unknown thread %d" tid)
+
+let place t = function
+  | Some p ->
+    if p < 0 || p >= Machine.nprocs t.machine then
+      invalid_arg (Printf.sprintf "Kernel: no processor %d" p);
+    p
+  | None ->
+    let p = t.place_rr in
+    t.place_rr <- (t.place_rr + 1) mod Machine.nprocs t.machine;
+    p
+
+let make_thread t ~proc ~aspace body =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th =
+    { tid; body; aspace; proc; state = Runnable; resume = None; joiners = []; quantum_used = 0 }
+  in
+  Hashtbl.replace t.threads tid th;
+  t.live <- t.live + 1;
+  t.created <- t.created + 1;
+  th
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling core.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec dispatch t proc =
+  match Queue.take_opt t.runqs.(proc) with
+  | None -> t.proc_active.(proc) <- false
+  | Some tid ->
+    t.proc_active.(proc) <- true;
+    t.switches <- t.switches + 1;
+    let th = thread t tid in
+    th.state <- Running;
+    th.quantum_used <- 0;
+    (match th.resume with
+    | Some f ->
+      th.resume <- None;
+      f ()
+    | None -> start_fiber t th)
+
+(* A processor that was idle gets a dispatch event; one that is mid-event
+   will reach its own dispatch when the current thread blocks/finishes. *)
+and wake t th =
+  th.state <- Runnable;
+  Queue.add th.tid t.runqs.(th.proc);
+  if not t.proc_active.(th.proc) then begin
+    t.proc_active.(th.proc) <- true;
+    let delay = (config t).Config.context_switch_ns in
+    Engine.schedule_after t.engine ~delay (fun () -> dispatch t th.proc)
+  end
+
+and finish_thread t th =
+  th.state <- Finished;
+  t.live <- t.live - 1;
+  if t.live = 0 then t.finished_at <- Engine.now t.engine;
+  List.iter (fun tid -> wake t (thread t tid)) th.joiners;
+  th.joiners <- [];
+  dispatch t th.proc
+
+(* Complete an operation of [lat] ns for the current thread: charge any
+   pending interrupt penalty, extend the processor busy horizon, and
+   resume — immediately for zero-cost operations, via the event queue
+   otherwise.  Preemption happens only at operation boundaries. *)
+and complete : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> a -> int -> unit =
+ fun t th k v lat ->
+  let now = Engine.now t.engine in
+  let penalty = Machine.take_penalty t.machine ~proc:th.proc in
+  let total = lat + penalty in
+  Machine.set_proc_busy_until t.machine ~proc:th.proc (now + total);
+  th.quantum_used <- th.quantum_used + total;
+  let resume () = Effect.Deep.continue k v in
+  if
+    th.quantum_used >= (config t).Config.quantum_ns
+    && not (Queue.is_empty t.runqs.(th.proc))
+  then begin
+    th.state <- Runnable;
+    th.resume <- Some resume;
+    Engine.schedule_after t.engine ~delay:total (fun () ->
+        Queue.add th.tid t.runqs.(th.proc);
+        dispatch t th.proc)
+  end
+  else if total = 0 then resume ()
+  else Engine.schedule_after t.engine ~delay:total resume
+
+(* Run an operation that may raise (a protection or address-space error,
+   an unknown port, ...): the exception is delivered back into the
+   faulting thread at its perform point via [discontinue], where the
+   fiber's own handler turns it into a thread failure — one broken thread
+   must not take down the whole simulated machine. *)
+and run_op : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> (unit -> a * int) -> unit =
+ fun t th k f ->
+  match f () with
+  | v, lat -> complete t th k v lat
+  | exception e -> Effect.Deep.discontinue k e
+
+(* Block the current thread on [k]; its processor moves on. *)
+and block : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> a Lazy.t -> unit =
+ fun t th k v ->
+  th.state <- Blocked;
+  th.resume <- Some (fun () -> Effect.Deep.continue k (Lazy.force v));
+  dispatch t th.proc
+
+and start_fiber t th =
+  let open Effect.Deep in
+  match_with th.body ()
+    {
+      retc = (fun () -> finish_thread t th);
+      exnc =
+        (fun e ->
+          if t.failure = None then t.failure <- Some e;
+          finish_thread t th);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Eff.Read vaddr ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                run_op t th k (fun () ->
+                    t.memsys.Memsys.read ~now:(Engine.now t.engine) ~proc:th.proc
+                      ~aspace:th.aspace ~vaddr))
+          | Eff.Write (vaddr, v) ->
+            Some
+              (fun k ->
+                run_op t th k (fun () ->
+                    ( (),
+                      t.memsys.Memsys.write ~now:(Engine.now t.engine) ~proc:th.proc
+                        ~aspace:th.aspace ~vaddr v )))
+          | Eff.Rmw (vaddr, f) ->
+            Some
+              (fun k ->
+                run_op t th k (fun () ->
+                    t.memsys.Memsys.rmw ~now:(Engine.now t.engine) ~proc:th.proc
+                      ~aspace:th.aspace ~vaddr f))
+          | Eff.Block_read (vaddr, len) ->
+            Some
+              (fun k ->
+                run_op t th k (fun () ->
+                    t.memsys.Memsys.block_read ~now:(Engine.now t.engine) ~proc:th.proc
+                      ~aspace:th.aspace ~vaddr ~len))
+          | Eff.Block_write (vaddr, data) ->
+            Some
+              (fun k ->
+                run_op t th k (fun () ->
+                    ( (),
+                      t.memsys.Memsys.block_write ~now:(Engine.now t.engine) ~proc:th.proc
+                        ~aspace:th.aspace ~vaddr data )))
+          | Eff.Compute ns -> Some (fun k -> complete t th k () (max ns 0))
+          | Eff.Yield ->
+            Some
+              (fun k ->
+                th.state <- Runnable;
+                th.resume <- Some (fun () -> continue k ());
+                Queue.add th.tid t.runqs.(th.proc);
+                dispatch t th.proc)
+          | Eff.Spawn (body, hint, aspace_hint) ->
+            Some
+              (fun k ->
+                run_op t th k (fun () ->
+                    let proc = place t hint in
+                    let aspace = Option.value aspace_hint ~default:th.aspace in
+                    let child = make_thread t ~proc ~aspace body in
+                    wake_fresh t child;
+                    (child.tid, (config t).Config.thread_spawn_ns)))
+          | Eff.Join tid ->
+            Some
+              (fun k ->
+                match thread t tid with
+                | exception e -> Effect.Deep.discontinue k e
+                | target ->
+                  if target.state = Finished then complete t th k () 0
+                  else begin
+                    target.joiners <- th.tid :: target.joiners;
+                    block t th k (lazy ())
+                  end)
+          | Eff.Migrate proc ->
+            Some
+              (fun k ->
+                if proc < 0 || proc >= Machine.nprocs t.machine then
+                  Effect.Deep.discontinue k
+                    (Invalid_argument (Printf.sprintf "migrate: no processor %d" proc))
+                else begin
+                let from_proc = th.proc in
+                let lat =
+                  if proc = from_proc then 0
+                  else
+                    (config t).Config.thread_migrate_ns
+                    + t.memsys.Memsys.migrate_cost ~now:(Engine.now t.engine) ~from_proc
+                        ~to_proc:proc
+                in
+                (* The thread leaves this processor; resume it on the new
+                   one and let this one schedule other work. *)
+                th.state <- Runnable;
+                th.resume <- Some (fun () -> continue k ());
+                let old = from_proc in
+                th.proc <- proc;
+                  Engine.schedule_after t.engine ~delay:lat (fun () ->
+                      Queue.add th.tid t.runqs.(proc);
+                      if not t.proc_active.(proc) then begin
+                        t.proc_active.(proc) <- true;
+                        dispatch t proc
+                      end);
+                  dispatch t old
+                end)
+          | Eff.Self -> Some (fun k -> complete t th k th.tid 0)
+          | Eff.My_proc -> Some (fun k -> complete t th k th.proc 0)
+          | Eff.Now -> Some (fun k -> complete t th k (Engine.now t.engine) 0)
+          | Eff.New_port ->
+            Some
+              (fun k ->
+                let pid = t.next_pid in
+                t.next_pid <- pid + 1;
+                Hashtbl.replace t.ports pid { messages = Queue.create (); waiters = Queue.create () };
+                complete t th k pid 0)
+          | Eff.Port_send (pid, msg) ->
+            Some
+              (fun k ->
+                match Hashtbl.find_opt t.ports pid with
+                | None ->
+                  Effect.Deep.discontinue k
+                    (Invalid_argument (Printf.sprintf "send: unknown port %d" pid))
+                | Some port ->
+                let cfg = config t in
+                let lat =
+                  cfg.Config.port_op_ns + (Array.length msg * cfg.Config.t_block_word)
+                in
+                Queue.add (Array.copy msg) port.messages;
+                (match Queue.take_opt port.waiters with
+                | Some tid -> wake t (thread t tid)
+                | None -> ());
+                complete t th k () lat)
+          | Eff.Port_recv pid ->
+            Some
+              (fun k ->
+                match Hashtbl.find_opt t.ports pid with
+                | None ->
+                  Effect.Deep.discontinue k
+                    (Invalid_argument (Printf.sprintf "recv: unknown port %d" pid))
+                | Some port ->
+                let cfg = config t in
+                let take () =
+                  match Queue.take_opt port.messages with
+                  | Some m -> m
+                  | None -> failwith "Kernel: woken receiver found empty port"
+                in
+                if not (Queue.is_empty port.messages) then begin
+                  let m = take () in
+                  let lat = cfg.Config.port_op_ns + (Array.length m * cfg.Config.t_block_word) in
+                  complete t th k m lat
+                end
+                else begin
+                  Queue.add th.tid port.waiters;
+                  block t th k (lazy (take ()))
+                end)
+          | Eff.New_zone (name, pages) ->
+            Some
+              (fun k ->
+                run_op t th k (fun () ->
+                    (t.memsys.Memsys.new_zone ~aspace:th.aspace ~name ~pages, 0)))
+          | Eff.Alloc (zone, words, page_aligned) ->
+            Some
+              (fun k ->
+                run_op t th k (fun () -> (t.memsys.Memsys.alloc ~zone ~words ~page_aligned, 0)))
+          | Eff.Alloc_pages (zone, pages) ->
+            Some (fun k -> run_op t th k (fun () -> (t.memsys.Memsys.alloc_pages ~zone ~pages, 0)))
+          | Eff.Page_words -> Some (fun k -> complete t th k t.memsys.Memsys.page_words 0)
+          | Eff.Advise (vaddr, len, advice) ->
+            Some
+              (fun k ->
+                run_op t th k (fun () ->
+                    ( (),
+                      t.memsys.Memsys.advise ~now:(Engine.now t.engine) ~proc:th.proc
+                        ~aspace:th.aspace ~vaddr ~len advice )))
+          | Eff.My_aspace -> Some (fun k -> complete t th k th.aspace 0)
+          | Eff.New_aspace ->
+            Some (fun k -> run_op t th k (fun () -> (t.memsys.Memsys.new_aspace (), 0)))
+          | Eff.New_segment (name, pages) ->
+            Some
+              (fun k -> run_op t th k (fun () -> (t.memsys.Memsys.new_segment ~name ~pages, 0)))
+          | Eff.Map_segment segment ->
+            Some
+              (fun k ->
+                run_op t th k (fun () ->
+                    ( t.memsys.Memsys.map_segment ~aspace:th.aspace ~segment,
+                      (config t).Config.vm_fault_ns )))
+          | _ -> None)
+    }
+
+and wake_fresh t th =
+  Queue.add th.tid t.runqs.(th.proc);
+  if not t.proc_active.(th.proc) then begin
+    t.proc_active.(th.proc) <- true;
+    let delay = (config t).Config.context_switch_ns in
+    Engine.schedule_after t.engine ~delay (fun () -> dispatch t th.proc)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let spawn t ?proc ?(aspace = 0) body =
+  let proc = place t proc in
+  let th = make_thread t ~proc ~aspace body in
+  wake_fresh t th;
+  th.tid
+
+let run_spawned t =
+  Engine.run t.engine;
+  (match t.failure with
+  | Some e -> raise (Thread_failure e)
+  | None -> ());
+  if t.live > 0 then begin
+    let stuck =
+      Hashtbl.fold
+        (fun tid th acc -> if th.state = Finished then acc else (tid, th.state) :: acc)
+        t.threads []
+    in
+    let describe (tid, st) =
+      Printf.sprintf "thread %d %s" tid
+        (match st with
+        | Blocked -> "blocked"
+        | Runnable -> "runnable"
+        | Running -> "running"
+        | Finished -> "finished")
+    in
+    raise (Deadlock (String.concat ", " (List.map describe stuck)))
+  end;
+  t.finished_at
+
+let run t ~main =
+  ignore (spawn t ~proc:0 main);
+  run_spawned t

@@ -1,0 +1,53 @@
+(** The PLATINUM kernel runtime: threads, per-processor scheduling, ports.
+
+    Threads are OCaml-5 effect-handler fibers.  When a thread performs a
+    memory (or other kernel) effect, the handler asks the {!Memsys} backend
+    for the operation's latency, marks the thread's processor busy for that
+    long on the discrete-event engine, and resumes the continuation when
+    the virtual clock gets there.  Pending interrupt-handler penalties
+    (shootdowns received) are charged at the next operation boundary.
+
+    A thread is bound to one processor at a time (§1.1); [Migrate] moves it
+    explicitly, paying for the kernel-stack block copy.  Scheduling is
+    per-processor run queues with quantum-based preemption at operation
+    boundaries. *)
+
+exception Deadlock of string
+(** Raised by {!run} when live threads remain but no event can wake them. *)
+
+exception Thread_failure of exn
+(** A simulated thread raised; re-thrown at the end of {!run}. *)
+
+type t
+
+val create :
+  engine:Platinum_sim.Engine.t ->
+  machine:Platinum_machine.Machine.t ->
+  memsys:Memsys.t ->
+  t
+
+val engine : t -> Platinum_sim.Engine.t
+val machine : t -> Platinum_machine.Machine.t
+val memsys : t -> Memsys.t
+
+val spawn : t -> ?proc:int -> ?aspace:int -> (unit -> unit) -> Eff.thread_id
+(** Create a thread from outside the simulation (the initial thread).
+    Unplaced threads go round-robin over processors; [aspace] defaults to
+    address space 0. *)
+
+val live_threads : t -> int
+val all_done : t -> bool
+(** True once every spawned thread has finished (the defrost daemon's stop
+    condition). *)
+
+val run : t -> main:(unit -> unit) -> Platinum_sim.Time_ns.t
+(** Spawn [main] on processor 0, run the simulation to completion, and
+    return the time at which the last thread finished.  Raises
+    {!Thread_failure} if any thread raised, {!Deadlock} if threads remain
+    blocked forever. *)
+
+val run_spawned : t -> Platinum_sim.Time_ns.t
+(** Like {!run} for threads already created with {!spawn}. *)
+
+val threads_created : t -> int
+val context_switches : t -> int

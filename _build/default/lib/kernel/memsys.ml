@@ -1,0 +1,22 @@
+type advice =
+  | Freeze
+  | Thaw
+  | Home of int
+
+type t = {
+  page_words : int;
+  read : now:int -> proc:int -> aspace:int -> vaddr:int -> int * int;
+  write : now:int -> proc:int -> aspace:int -> vaddr:int -> int -> int;
+  rmw : now:int -> proc:int -> aspace:int -> vaddr:int -> (int -> int) -> int * int;
+  block_read : now:int -> proc:int -> aspace:int -> vaddr:int -> len:int -> int array * int;
+  block_write : now:int -> proc:int -> aspace:int -> vaddr:int -> int array -> int;
+  new_aspace : unit -> int;
+  new_zone : aspace:int -> name:string -> pages:int -> int;
+  alloc : zone:int -> words:int -> page_aligned:bool -> int;
+  alloc_pages : zone:int -> pages:int -> int;
+  new_segment : name:string -> pages:int -> int;
+  map_segment : aspace:int -> segment:int -> int;
+  advise : now:int -> proc:int -> aspace:int -> vaddr:int -> len:int -> advice -> int;
+  migrate_cost : now:int -> from_proc:int -> to_proc:int -> int;
+  describe : unit -> string;
+}

@@ -1,0 +1,43 @@
+(** The memory-system interface the kernel schedules against.
+
+    Application threads issue abstract memory operations; a backend turns
+    each into (data, latency).  Two backends exist: the PLATINUM coherent
+    memory ({!Platsys}) and the bus-based UMA machine with per-processor
+    caches used for the Figure 5 comparison ({!Platinum_cache.Uma_sys}).
+
+    Addresses are virtual *word* addresses (the Butterfly's unit of access
+    is the 32-bit word). *)
+
+type advice =
+  | Freeze  (** known fine-grain write-shared data: pin it remote now *)
+  | Thaw  (** known phase change: let the next access replicate *)
+  | Home of int  (** collapse to one copy on the given node *)
+
+type t = {
+  page_words : int;  (** machine page size in 32-bit words *)
+  read : now:int -> proc:int -> aspace:int -> vaddr:int -> int * int;
+      (** (value, latency ns) *)
+  write : now:int -> proc:int -> aspace:int -> vaddr:int -> int -> int;  (** latency *)
+  rmw : now:int -> proc:int -> aspace:int -> vaddr:int -> (int -> int) -> int * int;
+      (** atomic read-modify-write; returns (old value, latency) *)
+  block_read : now:int -> proc:int -> aspace:int -> vaddr:int -> len:int -> int array * int;
+  block_write : now:int -> proc:int -> aspace:int -> vaddr:int -> int array -> int;
+  new_aspace : unit -> int;
+      (** create an empty address space (with its own default heap zone);
+          returns its id.  Id 0 is the initial space. *)
+  new_zone : aspace:int -> name:string -> pages:int -> int;  (** returns a zone handle *)
+  alloc : zone:int -> words:int -> page_aligned:bool -> int;
+      (** bump allocation inside a zone; returns the virtual word address *)
+  alloc_pages : zone:int -> pages:int -> int;
+  new_segment : name:string -> pages:int -> int;
+      (** a globally named memory object, shareable across address spaces *)
+  map_segment : aspace:int -> segment:int -> int;
+      (** bind a segment into an address space; returns its base vaddr
+          there (address ranges need not match across spaces, §1.1) *)
+  advise : now:int -> proc:int -> aspace:int -> vaddr:int -> len:int -> advice -> int;
+      (** apply placement advice to the pages covering [vaddr, vaddr+len);
+          returns latency; a no-op on machines without coherent memory *)
+  migrate_cost : now:int -> from_proc:int -> to_proc:int -> int;
+      (** cost of moving a thread's kernel stack (§2.2) *)
+  describe : unit -> string;
+}

@@ -1,0 +1,186 @@
+module Coherent = Platinum_core.Coherent
+module Cmap = Platinum_core.Cmap
+module Rights = Platinum_core.Rights
+module Addr_space = Platinum_vm.Addr_space
+module Memobj = Platinum_vm.Memobj
+module Zone = Platinum_vm.Zone
+module Xbar = Platinum_machine.Xbar
+module Machine = Platinum_machine.Machine
+
+(* One user address space as the kernel sees it. *)
+type space = {
+  asp : Addr_space.t;
+  cm : Cmap.t;
+}
+
+type t = {
+  coh : Coherent.t;
+  default_zone_pages : int;
+  mutable spaces : space array;  (* index = the Memsys aspace id *)
+  mutable zones : Zone.t array;
+  mutable segments : Memobj.t array;  (* globally named objects *)
+}
+
+let space t aspace =
+  if aspace < 0 || aspace >= Array.length t.spaces then
+    invalid_arg (Printf.sprintf "Platsys: no address space %d" aspace);
+  t.spaces.(aspace)
+
+let aspace t = (space t 0).asp
+let coherent t = t.coh
+
+let zone t i =
+  if i < 0 || i >= Array.length t.zones then invalid_arg (Printf.sprintf "Platsys: no zone %d" i);
+  t.zones.(i)
+
+let new_zone t ~aspace:a ~name ~pages =
+  let z = Zone.create (space t a).asp ~name ~pages () in
+  t.zones <- Array.append t.zones [| z |];
+  Array.length t.zones - 1
+
+let new_aspace t =
+  let asp = Addr_space.create t.coh in
+  let sp = { asp; cm = Addr_space.cmap asp } in
+  t.spaces <- Array.append t.spaces [| sp |];
+  let id = Array.length t.spaces - 1 in
+  (* Each space gets a private heap zone; its handle is returned by the
+     space's own Api.new_zone calls — the creation here just guarantees
+     allocation works immediately.  Its handle is the current zone count. *)
+  ignore (new_zone t ~aspace:id ~name:(Printf.sprintf "heap@%d" id) ~pages:t.default_zone_pages);
+  id
+
+let heap_zone_of_aspace t a =
+  (* The private heap created with the space; for space 0 it is zone 0. *)
+  if a = 0 then 0
+  else begin
+    (* zones were appended in creation order; find the heap@a zone *)
+    let found = ref (-1) in
+    Array.iteri
+      (fun i z -> if Zone.name z = Printf.sprintf "heap@%d" a then found := i)
+      t.zones;
+    !found
+  end
+
+let new_segment t ~name ~pages =
+  let obj = Memobj.create t.coh ~name ~npages:pages in
+  t.segments <- Array.append t.segments [| obj |];
+  Array.length t.segments - 1
+
+(* Bind an existing object at the space's next free page-aligned range.
+   [Addr_space.map] rejects overlaps, so probe forward from a base. *)
+let map_segment t ~aspace:a ~segment =
+  if segment < 0 || segment >= Array.length t.segments then
+    invalid_arg (Printf.sprintf "Platsys: no segment %d" segment);
+  let obj = t.segments.(segment) in
+  let sp = space t a in
+  let npages = Memobj.npages obj in
+  let rec find_base candidate =
+    match Addr_space.map sp.asp ~at_page:candidate ~obj ~rights:Rights.Read_write () with
+    | () -> candidate
+    | exception Invalid_argument _ -> find_base (candidate + npages + 1)
+  in
+  let base_page = find_base 16 in
+  base_page * Coherent.page_words t.coh
+
+(* Resolve VM faults before entering the coherent layer, so Fault.Unmapped
+   never escapes into a partially-charged operation. *)
+let ensure_bound _t sp ~now ~vpage =
+  match Cmap.find sp.cm ~vpage with
+  | Some _ -> 0
+  | None -> Addr_space.fault sp.asp ~now ~vpage
+
+let ensure_range t sp ~now ~vaddr ~len =
+  if len <= 0 then 0
+  else begin
+    let pw = Coherent.page_words t.coh in
+    let first = vaddr / pw and last = (vaddr + len - 1) / pw in
+    let lat = ref 0 in
+    for vpage = first to last do
+      lat := !lat + ensure_bound t sp ~now:(now + !lat) ~vpage
+    done;
+    !lat
+  end
+
+let memsys t =
+  let coh = t.coh in
+  let pw = Coherent.page_words coh in
+  let read ~now ~proc ~aspace ~vaddr =
+    let sp = space t aspace in
+    let l0 = ensure_bound t sp ~now ~vpage:(vaddr / pw) in
+    let v, l = Coherent.read_word coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr in
+    (v, l0 + l)
+  in
+  let write ~now ~proc ~aspace ~vaddr v =
+    let sp = space t aspace in
+    let l0 = ensure_bound t sp ~now ~vpage:(vaddr / pw) in
+    l0 + Coherent.write_word coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr v
+  in
+  let rmw ~now ~proc ~aspace ~vaddr f =
+    let sp = space t aspace in
+    let l0 = ensure_bound t sp ~now ~vpage:(vaddr / pw) in
+    let old, l = Coherent.rmw_word coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr f in
+    (old, l0 + l)
+  in
+  let block_read ~now ~proc ~aspace ~vaddr ~len =
+    let sp = space t aspace in
+    let l0 = ensure_range t sp ~now ~vaddr ~len in
+    let data, l = Coherent.block_read coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr ~len in
+    (data, l0 + l)
+  in
+  let block_write ~now ~proc ~aspace ~vaddr data =
+    let sp = space t aspace in
+    let l0 = ensure_range t sp ~now ~vaddr ~len:(Array.length data) in
+    l0 + Coherent.block_write coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr data
+  in
+  let advise ~now ~proc ~aspace ~vaddr ~len advice =
+    let sp = space t aspace in
+    let translated =
+      match advice with
+      | Memsys.Freeze -> Coherent.Advise_freeze
+      | Memsys.Thaw -> Coherent.Advise_thaw
+      | Memsys.Home m -> Coherent.Advise_home m
+    in
+    let len = max len 1 in
+    let first = vaddr / pw and last = (vaddr + len - 1) / pw in
+    let lat = ref 0 in
+    for vpage = first to last do
+      lat := !lat + ensure_bound t sp ~now:(now + !lat) ~vpage;
+      lat := !lat + Coherent.advise coh ~now:(now + !lat) ~proc ~cmap:sp.cm ~vpage translated
+    done;
+    !lat
+  in
+  let migrate_cost ~now ~from_proc ~to_proc =
+    (* Moving the thread moves its kernel stack with a block transfer
+       (§2.2's circular-dependence fix). *)
+    Xbar.block_copy (Coherent.config coh)
+      (Machine.modules (Coherent.machine coh))
+      ~now ~src:from_proc ~dst:to_proc ~words:pw
+  in
+  {
+    Memsys.page_words = pw;
+    read;
+    write;
+    rmw;
+    block_read;
+    block_write;
+    new_aspace = (fun () -> new_aspace t);
+    new_zone = (fun ~aspace ~name ~pages -> new_zone t ~aspace ~name ~pages);
+    alloc =
+      (fun ~zone:z ~words ~page_aligned -> Zone.alloc (zone t z) ~words ~page_aligned ());
+    alloc_pages = (fun ~zone:z ~pages -> Zone.alloc_pages (zone t z) ~pages);
+    new_segment = (fun ~name ~pages -> new_segment t ~name ~pages);
+    map_segment = (fun ~aspace ~segment -> map_segment t ~aspace ~segment);
+    advise;
+    migrate_cost;
+    describe =
+      (fun () ->
+        Printf.sprintf "platinum coherent memory (policy %s)"
+          (Coherent.policy coh).Platinum_core.Policy.name);
+  }
+
+let create coh root_aspace ?(default_zone_pages = 4096) () =
+  let sp = { asp = root_aspace; cm = Addr_space.cmap root_aspace } in
+  let t = { coh; default_zone_pages; spaces = [| sp |]; zones = [||]; segments = [||] } in
+  (* Zone 0: the root space's default heap. *)
+  ignore (new_zone t ~aspace:0 ~name:"heap" ~pages:default_zone_pages);
+  t

@@ -1,0 +1,34 @@
+(** The PLATINUM coherent memory system packaged as a kernel {!Memsys}
+    backend.
+
+    Glue layer: unmapped pages fall through to the VM fault handler of
+    the accessing thread's address space; allocation goes to
+    {!Platinum_vm.Zone} zones (zone 0 is the root space's default heap);
+    translation and data movement are {!Platinum_core.Coherent}.
+
+    Supports the full §1.1 model: multiple address spaces (each with its
+    own private heap), globally named memory segments mappable into any
+    space (at per-space addresses), and threads bound to one space. *)
+
+type t
+
+val create :
+  Platinum_core.Coherent.t ->
+  Platinum_vm.Addr_space.t ->
+  ?default_zone_pages:int ->
+  unit ->
+  t
+(** [create coh root_aspace ()] — [root_aspace] becomes address space 0.
+    [default_zone_pages] sizes each space's heap (default 4096 pages). *)
+
+val memsys : t -> Memsys.t
+val coherent : t -> Platinum_core.Coherent.t
+
+val aspace : t -> Platinum_vm.Addr_space.t
+(** The root (id 0) address space. *)
+
+val zone : t -> int -> Platinum_vm.Zone.t
+
+val heap_zone_of_aspace : t -> int -> int
+(** The private heap zone handle of an address space (0 for space 0);
+    -1 if unknown. *)

@@ -1,0 +1,41 @@
+type server = {
+  request_port : Eff.port_id;
+  server_tid : Eff.thread_id;
+}
+
+(* Wire format: requests are [| kind; reply_port; args... |] with kind 0 =
+   call, 1 = shutdown; replies are the handler's result verbatim. *)
+let kind_call = 0
+let kind_shutdown = 1
+
+let serve ?proc handler =
+  let request_port = Api.new_port () in
+  let rec loop () =
+    let msg = Api.recv request_port in
+    if msg.(0) = kind_shutdown then ()
+    else begin
+      let reply_port = msg.(1) in
+      let args = Array.sub msg 2 (Array.length msg - 2) in
+      Api.send reply_port (handler args);
+      loop ()
+    end
+  in
+  let server_tid = Api.spawn ?proc loop in
+  { request_port; server_tid }
+
+let port_of t = t.request_port
+
+let call_async t args =
+  let reply_port = Api.new_port () in
+  let msg = Array.make (Array.length args + 2) 0 in
+  msg.(0) <- kind_call;
+  msg.(1) <- reply_port;
+  Array.blit args 0 msg 2 (Array.length args);
+  Api.send t.request_port msg;
+  fun () -> Api.recv reply_port
+
+let call t args = call_async t args ()
+
+let shutdown t =
+  Api.send t.request_port [| kind_shutdown; 0 |];
+  Api.join t.server_tid

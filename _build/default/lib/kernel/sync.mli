@@ -1,0 +1,48 @@
+(** User-level synchronization, built from atomic memory operations.
+
+    Exactly what Butterfly programs did: spin locks and event counts are
+    ordinary words in coherent memory, manipulated with atomic
+    read-modify-write network operations.  Their pages therefore interact
+    with the replication policy — actively contended synchronization words
+    get their pages frozen, which is the §4.2 anecdote — so allocate them
+    in their own zone, away from data. *)
+
+val spin_until : ?initial_backoff:int -> ?max_backoff:int -> (unit -> bool) -> unit
+(** Poll [pred] with exponential backoff (defaults 1 µs → 100 µs).  Each
+    poll really reads simulated memory if [pred] does. *)
+
+module Spinlock : sig
+  type t
+
+  val make : ?zone:Eff.zone_id -> unit -> t
+  (** Allocate the lock word (in the default zone unless told otherwise). *)
+
+  val of_addr : int -> t
+  val addr : t -> int
+  val acquire : t -> unit
+  (** Test-and-set with read-spin and backoff while held. *)
+
+  val release : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Event_count : sig
+  type t
+  (** A monotonically increasing counter (the Butterfly's event counts). *)
+
+  val make : ?zone:Eff.zone_id -> unit -> t
+  val of_addr : int -> t
+  val addr : t -> int
+  val advance : t -> unit
+  val current : t -> int
+  val await : t -> int -> unit
+  (** Spin (with backoff) until the count reaches the target. *)
+end
+
+module Barrier : sig
+  type t
+  (** A central sense-reversing barrier for a fixed number of parties. *)
+
+  val make : ?zone:Eff.zone_id -> parties:int -> unit -> t
+  val wait : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Cache Config Memmodule Platinum_sim

@@ -1,0 +1,1 @@
+lib/machine/memmodule.mli: Platinum_sim

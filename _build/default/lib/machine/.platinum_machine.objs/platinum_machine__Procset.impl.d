@@ -1,0 +1,1 @@
+lib/machine/procset.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/machine/xbar.ml: Array Config Memmodule

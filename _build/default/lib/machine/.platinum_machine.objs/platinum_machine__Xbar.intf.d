@@ -1,0 +1,1 @@
+lib/machine/xbar.mli: Config Memmodule Platinum_sim

@@ -1,0 +1,56 @@
+type t = {
+  config : Config.t;
+  modules : Memmodule.t array;
+  caches : Cache.t array;  (* empty when the §7 extension is off *)
+  penalties : int array;
+  busy : int array;
+  mutable ipis : int;
+}
+
+let create (config : Config.t) =
+  {
+    config;
+    modules = Array.init config.nprocs Memmodule.create;
+    caches =
+      (if config.Config.local_cache_words > 0 then
+         Array.init config.nprocs (fun _ ->
+             Cache.create ~words:config.Config.local_cache_words
+               ~line_words:config.Config.local_cache_line_words)
+       else [||]);
+    penalties = Array.make config.nprocs 0;
+    busy = Array.make config.nprocs 0;
+    ipis = 0;
+  }
+
+let config t = t.config
+let nprocs t = t.config.nprocs
+let modules t = t.modules
+let mem_module t i = t.modules.(i)
+let module_of_proc _t p = p
+let caches_enabled t = Array.length t.caches > 0
+let cache t ~proc = if Array.length t.caches = 0 then None else Some t.caches.(proc)
+
+let invalidate_cached_range t ~proc ~addr ~words =
+  if Array.length t.caches > 0 then Cache.invalidate_range t.caches.(proc) ~addr ~words
+
+let invalidate_cached_range_all t ~addr ~words =
+  Array.iter (fun c -> Cache.invalidate_range c ~addr ~words) t.caches
+
+let add_penalty t ~proc ns = t.penalties.(proc) <- t.penalties.(proc) + ns
+
+let take_penalty t ~proc =
+  let p = t.penalties.(proc) in
+  t.penalties.(proc) <- 0;
+  p
+
+let proc_busy_until t ~proc = t.busy.(proc)
+
+let set_proc_busy_until t ~proc until =
+  if until > t.busy.(proc) then t.busy.(proc) <- until
+
+let count_ipi t = t.ipis <- t.ipis + 1
+let ipis_sent t = t.ipis
+
+let reset_stats t =
+  t.ipis <- 0;
+  Array.iter Memmodule.reset_stats t.modules

@@ -1,0 +1,59 @@
+type t = int
+
+let empty = 0
+let is_empty t = t = 0
+
+let check i =
+  if i < 0 || i > 61 then invalid_arg "Procset: processor id out of [0, 61]"
+
+let full ~n =
+  if n < 0 || n > 62 then invalid_arg "Procset.full";
+  if n = 62 then (1 lsl 62) - 1 else (1 lsl n) - 1
+
+let singleton i =
+  check i;
+  1 lsl i
+
+let mem i t =
+  check i;
+  t land (1 lsl i) <> 0
+
+let add i t = t lor singleton i
+let remove i t = t land lnot (singleton i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let cardinal t =
+  let rec loop acc t = if t = 0 then acc else loop (acc + (t land 1)) (t lsr 1) in
+  loop 0 t
+
+let iter f t =
+  let rec loop i t =
+    if t <> 0 then begin
+      if t land 1 <> 0 then f i;
+      loop (i + 1) (t lsr 1)
+    end
+  in
+  loop 0 t
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i l -> i :: l) t [])
+let of_list l = List.fold_left (fun t i -> add i t) empty l
+
+let choose t =
+  if t = 0 then None
+  else
+    let rec loop i t = if t land 1 <> 0 then Some i else loop (i + 1) (t lsr 1) in
+    loop 0 t
+
+let equal = Int.equal
+let subset a b = a land lnot b = 0
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (to_list t)))

@@ -1,0 +1,31 @@
+(** Sets of processor (or memory-module) identifiers as bit masks.
+
+    These are the "bit mask denoting processors" / "reference mask" / "copy
+    mask" fields of the paper's Cmap and Cpage structures.  Processor ids
+    must be in [0, 61]. *)
+
+type t = private int
+
+val empty : t
+val is_empty : t -> bool
+val full : n:int -> t
+(** The set [{0, ..., n-1}]. *)
+
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int list -> t
+val choose : t -> int option
+(** Smallest member. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type kind =
+  | Read
+  | Write
+  | Rmw
+
+let uncontended_word_ns (c : Config.t) kind ~local =
+  if local then
+    match kind with
+    | Read | Write -> c.t_local_word
+    | Rmw -> 2 * c.t_local_word
+  else
+    match kind with
+    | Read -> c.t_remote_read_word
+    | Write -> c.t_remote_write_word
+    | Rmw -> c.t_remote_read_word + c.t_module_service
+
+(* A single word access: the request traverses the switch (folded into the
+   uncontended constant), queues at the module, is served, and returns.
+   Latency = queueing delay + uncontended time. *)
+let word_access (c : Config.t) modules ~now ~proc ~mem_module kind =
+  let local = proc = mem_module in
+  let m = modules.(mem_module) in
+  let service = if local then c.t_local_word else c.t_module_service in
+  let base = uncontended_word_ns c kind ~local in
+  let start = Memmodule.acquire m ~arrival:now ~service in
+  (start - now) + base
+
+let block_words (c : Config.t) modules ~now ~proc ~mem_module kind ~words =
+  if words < 0 then invalid_arg "Xbar.block_words";
+  if words = 0 then 0
+  else begin
+    let local = proc = mem_module in
+    let m = modules.(mem_module) in
+    let per_word_service = if local then c.t_local_word else c.t_module_service in
+    let base = words * uncontended_word_ns c kind ~local in
+    let start = Memmodule.acquire m ~arrival:now ~service:(words * per_word_service) in
+    (start - now) + base
+  end
+
+let block_copy (c : Config.t) modules ~now ~src ~dst ~words =
+  if words < 0 then invalid_arg "Xbar.block_copy";
+  if words = 0 then 0
+  else begin
+    let duration = words * c.t_block_word in
+    let msrc = modules.(src) in
+    let mdst = modules.(dst) in
+    if src = dst then begin
+      let start = Memmodule.acquire msrc ~arrival:now ~service:duration in
+      (start - now) + duration
+    end
+    else begin
+      (* The transfer starts once both modules are free and holds both. *)
+      let arrival = max now (max (Memmodule.busy_until msrc) (Memmodule.busy_until mdst)) in
+      let start = Memmodule.acquire msrc ~arrival ~service:duration in
+      Memmodule.reserve_until mdst (start + duration);
+      (start - now) + duration
+    end
+  end
+
+let zero_fill (c : Config.t) modules ~now ~dst ~words =
+  if words < 0 then invalid_arg "Xbar.zero_fill";
+  if words = 0 then 0
+  else begin
+    let duration = words * c.zero_fill_word_ns in
+    let m = modules.(dst) in
+    let start = Memmodule.acquire m ~arrival:now ~service:duration in
+    (start - now) + duration
+  end

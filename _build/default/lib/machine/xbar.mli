@@ -1,0 +1,64 @@
+(** Interconnect cost functions.
+
+    These translate a memory request (which processor, which memory module,
+    how many words, read or write) into a latency, charging queueing delay
+    at the target module(s).  The switch itself is modelled inside the
+    per-word remote constants; module occupancy is the serialization point,
+    which matches the paper's observation that contention arises "both at
+    the memories and in the switch" with memory-module hot spots dominating
+    (pivot-row replication, §5.1). *)
+
+type kind =
+  | Read
+  | Write
+  | Rmw  (** an atomic read-modify-write network transaction *)
+
+val uncontended_word_ns : Config.t -> kind -> local:bool -> int
+(** Latency of a single word access with no queueing. *)
+
+val word_access :
+  Config.t ->
+  Memmodule.t array ->
+  now:Platinum_sim.Time_ns.t ->
+  proc:int ->
+  mem_module:int ->
+  kind ->
+  int
+(** Latency (ns) of one word access issued at [now], including queueing at
+    the target module. *)
+
+val block_words :
+  Config.t ->
+  Memmodule.t array ->
+  now:Platinum_sim.Time_ns.t ->
+  proc:int ->
+  mem_module:int ->
+  kind ->
+  words:int ->
+  int
+(** Latency of [words] consecutive word accesses to one module (an
+    application-level block read or write; the processor issues them
+    back-to-back, so the module is occupied for the whole run). *)
+
+val block_copy :
+  Config.t ->
+  Memmodule.t array ->
+  now:Platinum_sim.Time_ns.t ->
+  src:int ->
+  dst:int ->
+  words:int ->
+  int
+(** Latency of a kernel block transfer of [words] from module [src] to
+    module [dst].  Both modules are occupied for the duration (the Butterfly
+    block transfer consumes 75% of the local bus bandwidth on both nodes;
+    we model full occupancy, §7).  When [src = dst] (a purely local copy)
+    only one module is occupied. *)
+
+val zero_fill :
+  Config.t ->
+  Memmodule.t array ->
+  now:Platinum_sim.Time_ns.t ->
+  dst:int ->
+  words:int ->
+  int
+(** Latency of zero-filling [words] on module [dst]. *)

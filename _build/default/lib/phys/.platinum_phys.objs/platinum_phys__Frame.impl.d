@@ -1,0 +1,1 @@
+lib/phys/frame.ml: Array Format Printf

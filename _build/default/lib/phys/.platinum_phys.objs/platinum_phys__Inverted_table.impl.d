@@ -1,0 +1,1 @@
+lib/phys/inverted_table.ml: Array Frame Hashtbl List Printf

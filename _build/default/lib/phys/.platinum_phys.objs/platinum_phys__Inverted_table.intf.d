@@ -1,0 +1,1 @@
+lib/phys/inverted_table.mli: Frame

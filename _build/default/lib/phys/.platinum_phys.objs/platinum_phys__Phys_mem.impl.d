@@ -1,0 +1,1 @@
+lib/phys/phys_mem.ml: Array Frame Inverted_table

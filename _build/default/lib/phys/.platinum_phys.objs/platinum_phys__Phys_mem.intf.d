@@ -1,0 +1,1 @@
+lib/phys/phys_mem.mli: Frame Inverted_table

@@ -1,0 +1,61 @@
+type t = {
+  table_module : int;
+  frames : Frame.t array;
+  by_cpage : (int, int) Hashtbl.t;  (* cpage id -> frame index *)
+  mutable free_list : int list;
+  mutable nfree : int;
+}
+
+let create ~mem_module ~frames ~page_words =
+  if frames <= 0 then invalid_arg "Inverted_table.create: frames must be positive";
+  let arr = Array.init frames (fun i -> Frame.create ~mem_module ~index:i ~words:page_words) in
+  let free_list = List.init frames (fun i -> i) in
+  {
+    table_module = mem_module;
+    frames = arr;
+    by_cpage = Hashtbl.create (frames * 2);
+    free_list;
+    nfree = frames;
+  }
+
+let mem_module t = t.table_module
+let capacity t = Array.length t.frames
+let free_count t = t.nfree
+let used_count t = capacity t - t.nfree
+
+let alloc t ~cpage =
+  if Hashtbl.mem t.by_cpage cpage then
+    invalid_arg
+      (Printf.sprintf "Inverted_table.alloc: module %d already backs cpage %d"
+         t.table_module cpage);
+  match t.free_list with
+  | [] -> None
+  | i :: rest ->
+    t.free_list <- rest;
+    t.nfree <- t.nfree - 1;
+    let f = t.frames.(i) in
+    Frame.set_owner f (Some cpage);
+    Hashtbl.replace t.by_cpage cpage i;
+    Some f
+
+let lookup t ~cpage =
+  match Hashtbl.find_opt t.by_cpage cpage with
+  | None -> None
+  | Some i -> Some t.frames.(i)
+
+let free t frame =
+  if Frame.mem_module frame <> t.table_module then
+    invalid_arg "Inverted_table.free: frame belongs to another module";
+  begin
+    match Frame.owner frame with
+    | None -> invalid_arg "Inverted_table.free: frame is already free"
+    | Some cpage -> Hashtbl.remove t.by_cpage cpage
+  end;
+  Frame.set_owner frame None;
+  t.free_list <- Frame.index frame :: t.free_list;
+  t.nfree <- t.nfree + 1
+
+let frame t i = t.frames.(i)
+
+let iter_used f t =
+  Array.iter (fun fr -> if Frame.owner fr <> None then f fr) t.frames

@@ -1,0 +1,47 @@
+type t = {
+  tables : Inverted_table.t array;
+  words_per_page : int;
+}
+
+let create ~modules ~frames_per_module ~page_words =
+  if modules <= 0 then invalid_arg "Phys_mem.create: modules must be positive";
+  {
+    tables =
+      Array.init modules (fun m ->
+          Inverted_table.create ~mem_module:m ~frames:frames_per_module ~page_words);
+    words_per_page = page_words;
+  }
+
+let modules t = Array.length t.tables
+let page_words t = t.words_per_page
+let table t m = t.tables.(m)
+
+let alloc_local t ~mem_module ~cpage = Inverted_table.alloc t.tables.(mem_module) ~cpage
+
+let alloc_preferring t ~prefer ~cpage =
+  match alloc_local t ~mem_module:prefer ~cpage with
+  | Some _ as r -> r
+  | None ->
+    (* Fall back to the emptiest module that doesn't already hold a copy. *)
+    let best = ref (-1) in
+    let best_free = ref 0 in
+    Array.iteri
+      (fun m tbl ->
+        if
+          m <> prefer
+          && Inverted_table.lookup tbl ~cpage = None
+          && Inverted_table.free_count tbl > !best_free
+        then begin
+          best := m;
+          best_free := Inverted_table.free_count tbl
+        end)
+      t.tables;
+    if !best < 0 then None else alloc_local t ~mem_module:!best ~cpage
+
+let lookup t ~mem_module ~cpage = Inverted_table.lookup t.tables.(mem_module) ~cpage
+
+let free t frame = Inverted_table.free t.tables.(Frame.mem_module frame) frame
+
+let total_free t = Array.fold_left (fun acc tbl -> acc + Inverted_table.free_count tbl) 0 t.tables
+
+let total_frames t = Array.fold_left (fun acc tbl -> acc + Inverted_table.capacity tbl) 0 t.tables

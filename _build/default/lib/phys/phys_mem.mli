@@ -1,0 +1,25 @@
+(** Physical memory of the whole machine: one inverted page table per
+    memory module, plus allocation across modules. *)
+
+type t
+
+val create : modules:int -> frames_per_module:int -> page_words:int -> t
+
+val modules : t -> int
+val page_words : t -> int
+val table : t -> int -> Inverted_table.t
+
+val alloc_local : t -> mem_module:int -> cpage:int -> Frame.t option
+(** Allocate in the given module only. *)
+
+val alloc_preferring : t -> prefer:int -> cpage:int -> Frame.t option
+(** Allocate in [prefer] if possible, otherwise in the module with the most
+    free frames that does not already back [cpage]; [None] when physical
+    memory is exhausted. *)
+
+val lookup : t -> mem_module:int -> cpage:int -> Frame.t option
+
+val free : t -> Frame.t -> unit
+
+val total_free : t -> int
+val total_frames : t -> int

@@ -1,0 +1,1 @@
+lib/runner/runner.ml: List Option Platinum_cache Platinum_core Platinum_kernel Platinum_machine Platinum_sim Platinum_stats Platinum_vm

@@ -1,0 +1,95 @@
+module Engine = Platinum_sim.Engine
+module Config = Platinum_machine.Config
+module Machine = Platinum_machine.Machine
+module Policy = Platinum_core.Policy
+module Coherent = Platinum_core.Coherent
+module Defrost = Platinum_core.Defrost
+module Addr_space = Platinum_vm.Addr_space
+module Platsys = Platinum_kernel.Platsys
+module Kernel = Platinum_kernel.Kernel
+module Report = Platinum_stats.Report
+
+type setup = {
+  engine : Engine.t;
+  machine : Machine.t;
+  coherent : Coherent.t;
+  aspace : Addr_space.t;
+  platsys : Platsys.t;
+  kernel : Kernel.t;
+}
+
+let make ?config ?policy ?defrost ?(frames_per_module = 1024) ?default_zone_pages () =
+  let config = match config with Some c -> c | None -> Config.butterfly_plus () in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None ->
+      Policy.make ~t1:config.Config.t1_freeze_window (Policy.Platinum { thaw_on_fault = false })
+  in
+  let engine = Engine.create () in
+  let machine = Machine.create config in
+  let coherent = Coherent.create machine ~engine ~policy ~frames_per_module () in
+  let aspace = Addr_space.create coherent in
+  let platsys = Platsys.create coherent aspace ?default_zone_pages () in
+  let kernel =
+    Kernel.create ~engine ~machine ~memsys:(Platsys.memsys platsys)
+  in
+  Defrost.install ?mode:defrost coherent engine;
+  { engine; machine; coherent; aspace; platsys; kernel }
+
+type result = {
+  elapsed : Platinum_sim.Time_ns.t;
+  report : Report.t;
+  setup : setup;
+}
+
+let run setup ~main =
+  let elapsed = Kernel.run setup.kernel ~main in
+  (match Coherent.check_invariants setup.coherent with
+  | Ok () -> ()
+  | Error e -> failwith ("coherence invariant violated after run: " ^ e));
+  { elapsed; report = Report.of_run setup.coherent ~elapsed; setup }
+
+let time ?config ?policy ?defrost ?frames_per_module ?default_zone_pages main =
+  let setup = make ?config ?policy ?defrost ?frames_per_module ?default_zone_pages () in
+  run setup ~main
+
+let speedup ?(nprocs_list = [ 1; 2; 4; 8; 12; 16 ]) ?base_config ?policy_of ?frames_per_module
+    ?default_zone_pages main =
+  let base = match base_config with Some c -> c | None -> Config.butterfly_plus () in
+  let results =
+    List.map
+      (fun nprocs ->
+        let config = { base with Config.nprocs } in
+        let policy = Option.map (fun f -> f config) policy_of in
+        let r =
+          time ~config ?policy ?frames_per_module ?default_zone_pages (main ~nprocs)
+        in
+        (nprocs, r))
+      nprocs_list
+  in
+  match results with
+  | [] -> []
+  | (p1, r1) :: _ ->
+    let t1 = float_of_int r1.elapsed *. float_of_int p1 in
+    (* If the smallest configuration is not one processor, scale as if
+       linear up to it — callers normally include 1. *)
+    List.map
+      (fun (p, r) -> (p, t1 /. float_of_int r.elapsed, r))
+      results
+
+module Uma_sys = Platinum_cache.Uma_sys
+
+type uma_result = {
+  uma_elapsed : Platinum_sim.Time_ns.t;
+  uma : Uma_sys.t;
+}
+
+let time_uma ?(nprocs = 16) ?(params = Uma_sys.sequent) ?(page_words = 1024) main =
+  let config = Config.butterfly_plus ~nprocs ~page_words () in
+  let engine = Engine.create () in
+  let machine = Machine.create config in
+  let uma = Uma_sys.create ~machine ~params ~page_words in
+  let kernel = Kernel.create ~engine ~machine ~memsys:(Uma_sys.memsys uma) in
+  let uma_elapsed = Kernel.run kernel ~main in
+  { uma_elapsed; uma }

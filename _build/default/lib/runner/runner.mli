@@ -1,0 +1,77 @@
+(** Assemble and run complete PLATINUM instances.
+
+    One call builds the whole stack — event engine, Butterfly machine
+    model, physical memory, coherent memory with a policy, one user
+    address space, kernel — runs a program on it, and returns the elapsed
+    virtual time plus the post-mortem report. *)
+
+type setup = {
+  engine : Platinum_sim.Engine.t;
+  machine : Platinum_machine.Machine.t;
+  coherent : Platinum_core.Coherent.t;
+  aspace : Platinum_vm.Addr_space.t;
+  platsys : Platinum_kernel.Platsys.t;
+  kernel : Platinum_kernel.Kernel.t;
+}
+
+val make :
+  ?config:Platinum_machine.Config.t ->
+  ?policy:Platinum_core.Policy.t ->
+  ?defrost:Platinum_core.Defrost.mode ->
+  ?frames_per_module:int ->
+  ?default_zone_pages:int ->
+  unit ->
+  setup
+(** Defaults: 16-processor Butterfly Plus, the PLATINUM policy (with the
+    config's t1), periodic defrost, 1024 frames per module, 4096-page
+    default zone.  The defrost daemon is installed when the policy uses
+    it. *)
+
+type result = {
+  elapsed : Platinum_sim.Time_ns.t;
+  report : Platinum_stats.Report.t;
+  setup : setup;
+}
+
+val run : setup -> main:(unit -> unit) -> result
+(** Run [main] as the initial thread on processor 0 until every thread
+    finishes.  Checks coherence invariants machine-wide before returning
+    (raises [Failure] on violation). *)
+
+val time :
+  ?config:Platinum_machine.Config.t ->
+  ?policy:Platinum_core.Policy.t ->
+  ?defrost:Platinum_core.Defrost.mode ->
+  ?frames_per_module:int ->
+  ?default_zone_pages:int ->
+  (unit -> unit) ->
+  result
+(** [make] + [run] in one step. *)
+
+val speedup :
+  ?nprocs_list:int list ->
+  ?base_config:Platinum_machine.Config.t ->
+  ?policy_of:(Platinum_machine.Config.t -> Platinum_core.Policy.t) ->
+  ?frames_per_module:int ->
+  ?default_zone_pages:int ->
+  (nprocs:int -> unit -> unit) ->
+  (int * float * result) list
+(** Run the same program for each processor count (default 1, 2, 4, 8, 12,
+    16) and return [(p, T1/Tp, result)] per point. *)
+
+(* --- the UMA comparison machine (Figure 5) --- *)
+
+type uma_result = {
+  uma_elapsed : Platinum_sim.Time_ns.t;
+  uma : Platinum_cache.Uma_sys.t;
+}
+
+val time_uma :
+  ?nprocs:int ->
+  ?params:Platinum_cache.Uma_sys.params ->
+  ?page_words:int ->
+  (unit -> unit) ->
+  uma_result
+(** Run a program on the bus-based UMA machine with write-through caches
+    (Sequent Symmetry model) instead of PLATINUM.  Same kernel, same
+    programming model, different memory system. *)

@@ -1,0 +1,77 @@
+module Key = struct
+  (* (time, sequence): the sequence number makes simultaneous events run in
+     scheduling order, which keeps runs deterministic. *)
+  type t = int * int
+
+  let compare (t1, s1) (t2, s2) =
+    let c = compare t1 t2 in
+    if c <> 0 then c else compare s1 s2
+end
+
+module H = Heap.Make (Key)
+
+type event = {
+  ev_daemon : bool;
+  ev_fn : unit -> unit;
+}
+
+type t = {
+  mutable clock : Time_ns.t;
+  mutable seq : int;
+  mutable queue : event H.t;
+  mutable processed : int;
+  mutable normal_pending : int;  (* non-daemon events in the queue *)
+}
+
+let create () = { clock = 0; seq = 0; queue = H.empty; processed = 0; normal_pending = 0 }
+let now t = t.clock
+
+let schedule_at t ?(daemon = false) ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %d is in the past (now=%d)" at t.clock);
+  t.queue <- H.insert (at, t.seq) { ev_daemon = daemon; ev_fn = f } t.queue;
+  if not daemon then t.normal_pending <- t.normal_pending + 1;
+  t.seq <- t.seq + 1
+
+let schedule_after t ?daemon ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ?daemon ~at:(t.clock + delay) f
+
+let every t ?daemon ~period ?start f =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let first = match start with Some s -> s | None -> t.clock + period in
+  let rec fire () = if f () then schedule_after t ?daemon ~delay:period fire in
+  schedule_at t ?daemon ~at:first fire
+
+let step t =
+  match H.delete_min t.queue with
+  | None -> false
+  | Some (((at, _), ev), rest) ->
+    t.queue <- rest;
+    t.clock <- at;
+    t.processed <- t.processed + 1;
+    if not ev.ev_daemon then t.normal_pending <- t.normal_pending - 1;
+    ev.ev_fn ();
+    true
+
+let run ?limit t =
+  match limit with
+  | None -> while t.normal_pending > 0 && step t do () done
+  | Some n ->
+    let budget = ref n in
+    while !budget > 0 && t.normal_pending > 0 && step t do
+      decr budget
+    done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match H.find_min t.queue with
+    | Some ((at, _), _) when at <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if horizon > t.clock then t.clock <- horizon
+
+let events_processed t = t.processed
+let is_empty t = t.normal_pending = 0

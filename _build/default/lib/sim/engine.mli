@@ -1,0 +1,45 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns a virtual clock and a priority queue of events.  Events
+    scheduled for the same instant run in scheduling order (a monotonically
+    increasing sequence number breaks ties), so runs are reproducible. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time_ns.t
+(** Current virtual time. *)
+
+val schedule_at : t -> ?daemon:bool -> at:Time_ns.t -> (unit -> unit) -> unit
+(** Run the thunk when the clock reaches [at].  Scheduling in the past
+    raises [Invalid_argument].  [daemon] events (default false) do not keep
+    {!run} alive: the run stops once only daemon events remain — this is
+    how recurring kernel daemons avoid keeping a finished simulation
+    spinning. *)
+
+val schedule_after : t -> ?daemon:bool -> delay:Time_ns.t -> (unit -> unit) -> unit
+(** [schedule_after t ~delay f] is [schedule_at t ~at:(now t + delay) f].
+    Negative delays raise [Invalid_argument]. *)
+
+val every : t -> ?daemon:bool -> period:Time_ns.t -> ?start:Time_ns.t -> (unit -> bool) -> unit
+(** Run a recurring event each [period]; the first firing is at [start]
+    (default [now t + period]).  The event recurs while the callback returns
+    [true]. *)
+
+val step : t -> bool
+(** Run the earliest event.  [false] when the queue was empty. *)
+
+val run : ?limit:int -> t -> unit
+(** Run events until no non-daemon events remain, or until [limit] events
+    have been processed (default unlimited). *)
+
+val run_until : t -> Time_ns.t -> unit
+(** Run every event with timestamp [<=] the given horizon, advancing the
+    clock to the horizon. *)
+
+val events_processed : t -> int
+(** Total number of events executed so far (for instrumentation). *)
+
+val is_empty : t -> bool
+(** No non-daemon events pending. *)

@@ -1,0 +1,56 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) = struct
+  type 'a t =
+    | Empty
+    | Node of Key.t * 'a * 'a t list
+
+  let empty = Empty
+
+  let is_empty = function
+    | Empty -> true
+    | Node _ -> false
+
+  let merge a b =
+    match a, b with
+    | Empty, h | h, Empty -> h
+    | Node (ka, va, ca), Node (kb, vb, cb) ->
+      if Key.compare ka kb <= 0 then Node (ka, va, b :: ca)
+      else Node (kb, vb, a :: cb)
+
+  let insert k v h = merge (Node (k, v, [])) h
+
+  let find_min = function
+    | Empty -> None
+    | Node (k, v, _) -> Some (k, v)
+
+  (* Two-pass pairing: merge children pairwise left to right, then fold the
+     results right to left.  This is the variant with the proven amortised
+     bounds. *)
+  let rec merge_pairs = function
+    | [] -> Empty
+    | [ h ] -> h
+    | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
+
+  let delete_min = function
+    | Empty -> None
+    | Node (k, v, children) -> Some ((k, v), merge_pairs children)
+
+  let of_list l = List.fold_left (fun h (k, v) -> insert k v h) empty l
+
+  let to_sorted_list h =
+    let rec loop acc h =
+      match delete_min h with
+      | None -> List.rev acc
+      | Some (kv, rest) -> loop (kv :: acc) rest
+    in
+    loop [] h
+
+  let rec size = function
+    | Empty -> 0
+    | Node (_, _, children) -> 1 + List.fold_left (fun n c -> n + size c) 0 children
+end

@@ -1,0 +1,37 @@
+(** Functional pairing heaps, used as the simulation event queue.
+
+    Pairing heaps give O(1) insert and find-min and amortised O(log n)
+    delete-min, which is the access pattern of a discrete-event queue. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) : sig
+  type 'a t
+  (** A min-heap of ['a] payloads prioritised by [Key.t]. *)
+
+  val empty : 'a t
+  val is_empty : 'a t -> bool
+
+  val insert : Key.t -> 'a -> 'a t -> 'a t
+
+  val find_min : 'a t -> (Key.t * 'a) option
+  (** Smallest key, or [None] when empty. *)
+
+  val delete_min : 'a t -> ((Key.t * 'a) * 'a t) option
+  (** Smallest binding and the remaining heap, or [None] when empty. *)
+
+  val merge : 'a t -> 'a t -> 'a t
+
+  val of_list : (Key.t * 'a) list -> 'a t
+
+  val to_sorted_list : 'a t -> (Key.t * 'a) list
+  (** All bindings in nondecreasing key order.  O(n log n); intended for
+      tests and debugging, not the hot path. *)
+
+  val size : 'a t -> int
+  (** O(n); intended for tests. *)
+end

@@ -1,0 +1,1 @@
+lib/stats/report.ml: Array Format List Platinum_core Platinum_machine Platinum_sim Printf String

@@ -1,0 +1,1 @@
+lib/stats/report.mli: Format Platinum_core Platinum_sim

@@ -1,0 +1,1 @@
+lib/stats/trace.ml: Format List Platinum_core Platinum_sim Printf Queue

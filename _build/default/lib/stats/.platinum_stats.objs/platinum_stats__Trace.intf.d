@@ -1,0 +1,1 @@
+lib/stats/trace.mli: Format Platinum_core Platinum_sim

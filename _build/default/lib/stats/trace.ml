@@ -1,0 +1,49 @@
+module Probe = Platinum_core.Probe
+module Coherent = Platinum_core.Coherent
+module Time_ns = Platinum_sim.Time_ns
+
+type entry = {
+  at : Time_ns.t;
+  event : Probe.event;
+}
+
+type t = {
+  capacity : int;
+  buf : entry Queue.t;
+  mutable ndropped : int;
+}
+
+let create ?(capacity = 100_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buf = Queue.create (); ndropped = 0 }
+
+let record t ~now event =
+  if Queue.length t.buf >= t.capacity then begin
+    ignore (Queue.pop t.buf);
+    t.ndropped <- t.ndropped + 1
+  end;
+  Queue.add { at = now; event } t.buf
+
+let attach t coh = Coherent.set_probe coh (Some (fun ~now ev -> record t ~now ev))
+let entries t = List.of_seq (Queue.to_seq t.buf)
+let length t = Queue.length t.buf
+let dropped t = t.ndropped
+
+let clear t =
+  Queue.clear t.buf;
+  t.ndropped <- 0
+
+let filter t pred = List.filter (fun e -> pred e.event) (entries t)
+let count t pred = List.length (filter t pred)
+
+let pp_timeline ?(limit = 50) fmt t =
+  let all = entries t in
+  let n = List.length all in
+  Format.fprintf fmt "@[<v>protocol timeline (%d events%s):@," n
+    (if t.ndropped > 0 then Printf.sprintf ", %d dropped" t.ndropped else "");
+  List.iteri
+    (fun i e ->
+      if i < limit then Format.fprintf fmt "  %10s  %a@," (Time_ns.to_string e.at) Probe.pp_event e.event)
+    all;
+  if n > limit then Format.fprintf fmt "  ... %d more@," (n - limit);
+  Format.fprintf fmt "@]"

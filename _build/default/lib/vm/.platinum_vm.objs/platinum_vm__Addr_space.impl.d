@@ -1,0 +1,1 @@
+lib/vm/addr_space.ml: List Memobj Platinum_core Platinum_machine Printf

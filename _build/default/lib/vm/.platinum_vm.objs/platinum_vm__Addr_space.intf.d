@@ -1,0 +1,1 @@
+lib/vm/addr_space.mli: Memobj Platinum_core Platinum_sim

@@ -1,0 +1,1 @@
+lib/vm/memobj.ml: Array Platinum_core Printf

@@ -1,0 +1,1 @@
+lib/vm/memobj.mli: Platinum_core

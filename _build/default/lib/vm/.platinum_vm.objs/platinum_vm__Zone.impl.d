@@ -1,0 +1,1 @@
+lib/vm/zone.ml: Addr_space Platinum_core Printf

@@ -1,0 +1,1 @@
+lib/vm/zone.mli: Addr_space Platinum_core

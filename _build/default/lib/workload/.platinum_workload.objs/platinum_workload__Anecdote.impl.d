@@ -1,0 +1,1 @@
+lib/workload/anecdote.ml: List Outcome Platinum_kernel

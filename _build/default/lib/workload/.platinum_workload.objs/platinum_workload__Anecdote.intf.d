@@ -1,0 +1,1 @@
+lib/workload/anecdote.mli: Outcome

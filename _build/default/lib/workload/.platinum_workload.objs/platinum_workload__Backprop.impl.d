@@ -1,0 +1,1 @@
+lib/workload/backprop.ml: Array List Outcome Platinum_kernel

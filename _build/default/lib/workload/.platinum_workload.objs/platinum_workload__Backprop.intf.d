@@ -1,0 +1,1 @@
+lib/workload/backprop.mli: Outcome

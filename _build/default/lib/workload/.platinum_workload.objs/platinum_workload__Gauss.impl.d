@@ -1,0 +1,1 @@
+lib/workload/gauss.ml: Array List Outcome Platinum_kernel

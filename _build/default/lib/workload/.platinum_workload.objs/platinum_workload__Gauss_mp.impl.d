@@ -1,0 +1,1 @@
+lib/workload/gauss_mp.ml: Array Gauss Hashtbl List Outcome Platinum_kernel

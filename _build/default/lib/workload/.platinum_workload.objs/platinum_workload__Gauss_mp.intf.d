@@ -1,0 +1,1 @@
+lib/workload/gauss_mp.mli: Outcome

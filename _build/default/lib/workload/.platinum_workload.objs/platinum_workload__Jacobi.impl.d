@@ -1,0 +1,1 @@
+lib/workload/jacobi.ml: Array List Outcome Platinum_kernel

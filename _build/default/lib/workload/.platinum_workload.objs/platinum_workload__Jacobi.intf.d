@@ -1,0 +1,1 @@
+lib/workload/jacobi.mli: Outcome

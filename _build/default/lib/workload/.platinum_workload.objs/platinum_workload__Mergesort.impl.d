@@ -1,0 +1,1 @@
+lib/workload/mergesort.ml: Array List Outcome Platinum_kernel

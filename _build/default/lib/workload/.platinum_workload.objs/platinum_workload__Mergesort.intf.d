@@ -1,0 +1,1 @@
+lib/workload/mergesort.mli: Outcome

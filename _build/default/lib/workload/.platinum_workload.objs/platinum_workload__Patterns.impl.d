@@ -1,0 +1,1 @@
+lib/workload/patterns.ml: Array List Outcome Platinum_kernel

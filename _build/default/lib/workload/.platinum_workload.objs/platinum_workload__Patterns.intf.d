@@ -1,0 +1,1 @@
+lib/workload/patterns.mli: Outcome

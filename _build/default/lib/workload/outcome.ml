@@ -1,0 +1,25 @@
+type t = {
+  mutable work_ns : int;
+  mutable ok : bool;
+  mutable detail : string;
+}
+
+let create () = { work_ns = 0; ok = true; detail = "" }
+
+let fail t fmt =
+  Printf.ksprintf
+    (fun s ->
+      if t.ok then begin
+        t.ok <- false;
+        t.detail <- s
+      end)
+    fmt
+
+let require t cond fmt =
+  Printf.ksprintf
+    (fun s ->
+      if (not cond) && t.ok then begin
+        t.ok <- false;
+        t.detail <- s
+      end)
+    fmt

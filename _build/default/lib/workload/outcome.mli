@@ -1,0 +1,20 @@
+(** Results reported back from inside a simulated workload.
+
+    Workload [main] functions are closures run inside the simulator; they
+    record their measured phase time and self-verification verdict into
+    one of these host-side cells, so harnesses can separate the timed
+    computation from setup and checking. *)
+
+type t = {
+  mutable work_ns : int;  (** duration of the timed phase *)
+  mutable ok : bool;  (** did self-verification pass? *)
+  mutable detail : string;
+}
+
+val create : unit -> t
+
+val fail : t -> ('a, unit, string, unit) format4 -> 'a
+(** Record a verification failure (keeps the first message). *)
+
+val require : t -> bool -> ('a, unit, string, unit) format4 -> 'a
+(** [require o cond fmt] records a failure when [cond] is false. *)

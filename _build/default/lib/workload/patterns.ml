@@ -1,0 +1,130 @@
+module Api = Platinum_kernel.Api
+module Sync = Platinum_kernel.Sync
+
+type spec = Outcome.t * (unit -> unit)
+
+let timed out f =
+  let t0 = Api.now () in
+  f ();
+  out.Outcome.work_ns <- Api.now () - t0
+
+let private_chunks ~nprocs ~pages_each ~rounds =
+  let out = Outcome.create () in
+  let main () =
+    let pw = Api.page_words () in
+    let bases = Array.init nprocs (fun _ -> Api.alloc_pages pages_each) in
+    let szone = Api.new_zone "sync" ~pages:1 in
+    let barrier = Sync.Barrier.make ~zone:szone ~parties:nprocs () in
+    let worker me =
+      let mine = bases.(me) in
+      let words = pages_each * pw in
+      Api.block_write mine (Array.init words (fun i -> i + me));
+      Sync.Barrier.wait barrier;
+      for round = 1 to rounds do
+        let data = Api.block_read mine words in
+        for i = 0 to words - 1 do
+          data.(i) <- data.(i) + 1
+        done;
+        Api.block_write mine data;
+        ignore round
+      done;
+      Sync.Barrier.wait barrier;
+      (* Everything I own should be local by now: verify by value. *)
+      let data = Api.block_read mine words in
+      Outcome.require out
+        (data.(0) = me + rounds)
+        "private_chunks: worker %d sees %d, expected %d" me data.(0) (me + rounds)
+    in
+    timed out (fun () ->
+        Api.spawn_join_all
+          ~procs:(List.init nprocs (fun i -> i))
+          (List.init nprocs (fun me _ -> worker me)))
+  in
+  (out, main)
+
+let read_shared ~nprocs ~pages ~rounds =
+  let out = Outcome.create () in
+  let main () =
+    let pw = Api.page_words () in
+    let base = Api.alloc_pages pages in
+    let words = pages * pw in
+    let szone = Api.new_zone "sync" ~pages:1 in
+    let barrier = Sync.Barrier.make ~zone:szone ~parties:nprocs () in
+    Api.block_write base (Array.init words (fun i -> i * 3));
+    let worker me =
+      Sync.Barrier.wait barrier;
+      for _round = 1 to rounds do
+        let data = Api.block_read base words in
+        Outcome.require out
+          (data.(words - 1) = (words - 1) * 3)
+          "read_shared: worker %d read a corrupt value" me
+      done;
+      Sync.Barrier.wait barrier
+    in
+    timed out (fun () ->
+        Api.spawn_join_all
+          ~procs:(List.init nprocs (fun i -> i))
+          (List.init nprocs (fun me _ -> worker me)))
+  in
+  (out, main)
+
+let ping_pong ~writers ~rounds =
+  let out = Outcome.create () in
+  let main () =
+    let cell = Api.alloc_pages 1 in
+    let szone = Api.new_zone "sync" ~pages:1 in
+    let barrier = Sync.Barrier.make ~zone:szone ~parties:writers () in
+    let turn = Sync.Event_count.make ~zone:szone () in
+    let worker me =
+      Sync.Barrier.wait barrier;
+      (* Strict round-robin writes: writer w takes turns w, w+writers, ... *)
+      for round = 0 to rounds - 1 do
+        if round mod writers = me then begin
+          Api.write (cell + (round mod 64)) round;
+          Sync.Event_count.advance turn
+        end
+        else Sync.Event_count.await turn (round + 1)
+      done;
+      Sync.Barrier.wait barrier
+    in
+    timed out (fun () ->
+        Api.spawn_join_all
+          ~procs:(List.init writers (fun i -> i))
+          (List.init writers (fun me _ -> worker me)));
+    let final = Api.read (cell + ((rounds - 1) mod 64)) in
+    Outcome.require out (final = rounds - 1) "ping_pong: final cell is %d, expected %d" final
+      (rounds - 1)
+  in
+  (out, main)
+
+let phase_change ~nprocs ~pages ~rounds =
+  let out = Outcome.create () in
+  let main () =
+    let pw = Api.page_words () in
+    let base = Api.alloc_pages pages in
+    let words = pages * pw in
+    let szone = Api.new_zone "sync" ~pages:1 in
+    let barrier = Sync.Barrier.make ~zone:szone ~parties:nprocs () in
+    let worker me =
+      Sync.Barrier.wait barrier;
+      (* Phase 1: interleaved fine-grain writes — freezes the pages. *)
+      for round = 0 to rounds - 1 do
+        Api.write (base + (((me * rounds) + round) mod words)) round
+      done;
+      Sync.Barrier.wait barrier;
+      (* Quiet period longer than t2 so the defrost daemon runs. *)
+      if me = 0 then Api.compute 2_500_000_000;
+      Sync.Barrier.wait barrier;
+      (* Phase 2: read-only — thawed pages should replicate again. *)
+      for _round = 1 to rounds do
+        let v = Api.read (base + me) in
+        ignore v
+      done;
+      Sync.Barrier.wait barrier
+    in
+    timed out (fun () ->
+        Api.spawn_join_all
+          ~procs:(List.init nprocs (fun i -> i))
+          (List.init nprocs (fun me _ -> worker me)))
+  in
+  (out, main)

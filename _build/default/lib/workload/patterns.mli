@@ -1,0 +1,26 @@
+(** Synthetic access-pattern microworkloads.
+
+    Each isolates one regime of the replication policy, for tests and
+    ablations: data that should migrate, data that should replicate, and
+    write-shared data that should freeze.  All return an {!Outcome} whose
+    [work_ns] covers the access phase. *)
+
+type spec = Outcome.t * (unit -> unit)
+
+val private_chunks : nprocs:int -> pages_each:int -> rounds:int -> spec
+(** Every thread repeatedly reads and writes its own pages.  Expected:
+    one migration per page, then all-local access; no freezes. *)
+
+val read_shared : nprocs:int -> pages:int -> rounds:int -> spec
+(** One writer initializes; everyone then re-reads many times.
+    Expected: one replica per (page, processor); no invalidation. *)
+
+val ping_pong : writers:int -> rounds:int -> spec
+(** [writers] threads take turns writing one word of a single page (the
+    worst case g(p) = p/(p-1) of §4.1).  Expected: a handful of
+    migrations, then the page freezes and writes go remote. *)
+
+val phase_change : nprocs:int -> pages:int -> rounds:int -> spec
+(** A write-shared phase (freezing the pages) followed, after more than
+    t2, by a read-only phase.  Expected: the defrost daemon thaws the
+    pages and the read phase replicates them. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List Option Platinum_analysis Printf

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array List Platinum_cache Platinum_kernel Platinum_machine Platinum_runner

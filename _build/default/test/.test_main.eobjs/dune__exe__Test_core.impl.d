@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Int64 List Option Platinum_core Platinum_machine Platinum_phys Platinum_sim Printf QCheck QCheck_alcotest

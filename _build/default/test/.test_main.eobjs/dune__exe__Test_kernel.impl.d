@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array List Platinum_kernel Platinum_machine Platinum_runner Platinum_sim Platinum_vm

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Format Int Platinum_machine QCheck QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_micro.ml: Alcotest List Platinum_core Platinum_machine Platinum_sim Printf

@@ -1,0 +1,1 @@
+test/test_phys.ml: Alcotest Hashtbl List Option Platinum_phys QCheck QCheck_alcotest

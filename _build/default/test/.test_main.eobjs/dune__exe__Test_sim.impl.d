@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int Int64 List Platinum_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Format List Platinum_core Platinum_machine Platinum_runner Platinum_sim Platinum_stats Platinum_workload String

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest List Platinum_core Platinum_machine Platinum_sim Platinum_vm

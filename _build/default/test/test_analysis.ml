@@ -1,0 +1,119 @@
+(* Tests for the §4.1 migration-economics model against Table 1. *)
+
+module M = Platinum_analysis.Migration_model
+
+(* Table 1 as printed in the paper.  Two caveats, documented in
+   EXPERIMENTS.md: the paper's own table mixes rounding directions (some
+   cells are floor, some ceiling of the same formula), and the (ρ=0.48,
+   g=1) cell is internally inconsistent with (ρ=0.24, g=0.5) — which the
+   formula makes identical — so we accept a wider margin there. *)
+let paper_table =
+  [
+    (0.17, [ Some 1070; None; None ]);
+    (0.24, [ Some 445; None; None ]);
+    (0.35, [ Some 232; Some 973; None ]);
+    (0.48, [ Some 149; Some 435; None ]);
+    (0.60, [ Some 111; Some 298; Some 1784 ]);
+    (0.75, [ Some 85; Some 210; Some 793 ]);
+    (1.0, [ Some 61; Some 141; Some 412 ]);
+    (1.5, [ Some 39; Some 84; Some 210 ]);
+    (2.0, [ Some 28; Some 61; Some 141 ]);
+  ]
+
+let test_table1_matches_paper () =
+  let ours = M.table1 () in
+  List.iter2
+    (fun (rho_p, row_p) (rho_o, row_o) ->
+      Alcotest.(check (float 1e-9)) "rho axis" rho_p rho_o;
+      List.iteri
+        (fun gi (expect, got) ->
+          let g = List.nth M.table1_gs gi in
+          match expect, got with
+          | None, None -> ()
+          | Some e, Some v ->
+            (* The inconsistent cell (0.48, 1) aside, everything is
+               within one unit of the printed value. *)
+            let slack = if rho_p = 0.48 && g = 1.0 then 11 else 1 in
+            Alcotest.(check bool)
+              (Printf.sprintf "rho=%.2f g=%.1f: %d vs paper %d" rho_p g v e)
+              true
+              (abs (v - e) <= slack)
+          | _ ->
+            Alcotest.fail
+              (Printf.sprintf "rho=%.2f g=%.1f: never/finite disagreement" rho_p g))
+        (List.combine row_p row_o))
+    paper_table ours
+
+let test_never_cells () =
+  (* Migration can never pay when ρ ≤ 0.24·g: remote access wins at any
+     page size. *)
+  Alcotest.(check bool) "rho=0.24 g=1 never" true (M.min_page_words_rounded ~g:1.0 ~rho:0.24 = None);
+  Alcotest.(check bool) "rho=0.48 g=2 never" true (M.min_page_words_rounded ~g:2.0 ~rho:0.48 = None);
+  Alcotest.(check bool) "rho just above threshold finite" true
+    (M.min_page_words_rounded ~g:1.0 ~rho:0.25 <> None)
+
+let test_g_round_robin () =
+  Alcotest.(check (float 1e-9)) "g(2) = 2 (worst case)" 2.0 (M.g_round_robin ~p:2);
+  Alcotest.(check (float 1e-9)) "g(3)" 1.5 (M.g_round_robin ~p:3);
+  Alcotest.(check (float 1e-9)) "g(16)" (16. /. 15.) (M.g_round_robin ~p:16);
+  Alcotest.(check bool) "g decreases toward 1" true
+    (M.g_round_robin ~p:100 < M.g_round_robin ~p:3)
+
+let test_threshold_consistency () =
+  (* min_page_words is the boundary of migration_pays: paying just above,
+     not paying just below. *)
+  let m = M.butterfly_plus in
+  List.iter
+    (fun (g, rho) ->
+      match M.min_page_words m ~g ~rho with
+      | None ->
+        Alcotest.(check bool) "never pays even for huge pages" false
+          (M.migration_pays m ~g ~rho ~page_words:1_000_000)
+      | Some s ->
+        Alcotest.(check bool)
+          (Printf.sprintf "pays at s=%d+1 (g=%.1f rho=%.2f)" s g rho)
+          true
+          (M.migration_pays m ~g ~rho ~page_words:(s + 1));
+        if s > 2 then
+          Alcotest.(check bool)
+            (Printf.sprintf "does not pay at s/2 (g=%.1f rho=%.2f)" g rho)
+            false
+            (M.migration_pays m ~g ~rho ~page_words:(s / 2)))
+    [ (0.5, 0.17); (1.0, 0.35); (1.0, 1.0); (2.0, 0.75); (1.0, 0.2); (2.0, 0.4) ]
+
+let test_block_transfer_matters () =
+  (* §4.1's headline: T_b/(T_r − T_l) bounds the minimum usable density.
+     A machine with a slow block transfer (T_b = T_r) can never win at
+     density 0.9·g. *)
+  let slow = { M.butterfly_plus with M.t_block = M.butterfly_plus.M.t_remote } in
+  Alcotest.(check bool) "slow block transfer kills migration" true
+    (M.min_page_words slow ~g:1.0 ~rho:0.9 = None);
+  Alcotest.(check bool) "fast block transfer enables it" true
+    (M.min_page_words M.butterfly_plus ~g:1.0 ~rho:0.9 <> None)
+
+let test_overhead_scaling () =
+  (* Halving the fixed overhead halves the minimum page size (§4.1). *)
+  let m = M.butterfly_plus in
+  let half = { m with M.fixed_overhead = m.M.fixed_overhead /. 2. } in
+  match M.min_page_words m ~g:1.0 ~rho:1.0, M.min_page_words half ~g:1.0 ~rho:1.0 with
+  | Some s, Some s2 -> Alcotest.(check bool) "roughly halved" true (abs (s - (2 * s2)) <= 2)
+  | _ -> Alcotest.fail "expected finite thresholds"
+
+let test_larger_p_more_attractive () =
+  (* With round-robin access, more sharers make migration more attractive
+     (g decreases toward 1). *)
+  let m = M.butterfly_plus in
+  let s2 = Option.get (M.min_page_words m ~g:(M.g_round_robin ~p:2) ~rho:1.0) in
+  let s16 = Option.get (M.min_page_words m ~g:(M.g_round_robin ~p:16) ~rho:1.0) in
+  Alcotest.(check bool) "s_min(16) < s_min(2)" true (s16 < s2)
+
+let suite =
+  [
+    ("table 1 reproduced", `Quick, test_table1_matches_paper);
+    ("never cells", `Quick, test_never_cells);
+    ("g(p) for round-robin", `Quick, test_g_round_robin);
+    ("threshold consistent with inequality 1", `Quick, test_threshold_consistency);
+    ("block-transfer speed is decisive", `Quick, test_block_transfer_matters);
+    ("overhead scales the threshold", `Quick, test_overhead_scaling);
+    ("more sharers help migration", `Quick, test_larger_p_more_attractive);
+  ]

@@ -1,0 +1,704 @@
+(* Tests for the coherent memory system: the four-state protocol, the
+   shootdown mechanism, replication policies, freeze/thaw, and the
+   machine-wide invariants. *)
+
+module Config = Platinum_machine.Config
+module Machine = Platinum_machine.Machine
+module Procset = Platinum_machine.Procset
+module Engine = Platinum_sim.Engine
+module Rng = Platinum_sim.Rng
+module Rights = Platinum_core.Rights
+module Cpage = Platinum_core.Cpage
+module Pmap = Platinum_core.Pmap
+module Atc = Platinum_core.Atc
+module Cmap = Platinum_core.Cmap
+module Policy = Platinum_core.Policy
+module Fault = Platinum_core.Fault
+module Coherent = Platinum_core.Coherent
+module Defrost = Platinum_core.Defrost
+module Counters = Platinum_core.Counters
+
+let qtest = QCheck_alcotest.to_alcotest
+
+type env = {
+  config : Config.t;
+  coh : Coherent.t;
+  cm : Cmap.t;
+  engine : Engine.t;
+}
+
+let mk ?(nprocs = 4) ?(page_words = 8) ?(frames = 16) ?(local_caches = false) ?policy () =
+  let config = Config.butterfly_plus ~nprocs ~page_words () in
+  let config = if local_caches then Config.with_local_caches ~words:32 ~line_words:2 config else config in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None ->
+      Policy.make ~t1:config.Config.t1_freeze_window (Policy.Platinum { thaw_on_fault = false })
+  in
+  let engine = Engine.create () in
+  let machine = Machine.create config in
+  let coh = Coherent.create machine ~engine ~policy ~frames_per_module:frames () in
+  let cm = Coherent.new_aspace coh in
+  { config; coh; cm; engine }
+
+(* Bind [n] fresh pages at vpages 0..n-1 with read-write rights. *)
+let bind_pages env n =
+  Array.init n (fun vpage ->
+      let page = Coherent.new_cpage env.coh ~label:(Printf.sprintf "page%d" vpage) () in
+      Coherent.bind env.coh env.cm ~vpage page Rights.Read_write;
+      page)
+
+let read env ?(now = 0) ~proc vaddr = Coherent.read_word env.coh ~now ~proc ~cmap:env.cm ~vaddr
+let write env ?(now = 0) ~proc vaddr v = Coherent.write_word env.coh ~now ~proc ~cmap:env.cm ~vaddr v
+
+let check_inv env =
+  match Coherent.check_invariants env.coh with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invariant violated: " ^ e)
+
+let state = Alcotest.testable Cpage.pp_state ( = )
+
+(* --- basic transitions (Figure 4) --- *)
+
+let test_empty_read () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let v, lat = read env ~proc:0 0 in
+  Alcotest.(check int) "zero filled" 0 v;
+  Alcotest.check state "empty -> present1" Cpage.Present1 pages.(0).Cpage.state;
+  Alcotest.(check int) "one copy" 1 (Cpage.ncopies pages.(0));
+  Alcotest.(check bool) "copy is local" true (Cpage.has_copy_on pages.(0) 0);
+  Alcotest.(check bool) "fault latency charged" true (lat > 100_000);
+  check_inv env
+
+let test_empty_write () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:2 3 77 in
+  Alcotest.check state "empty -> modified" Cpage.Modified pages.(0).Cpage.state;
+  Alcotest.(check bool) "local to writer" true (Cpage.has_copy_on pages.(0) 2);
+  let v, _ = read env ~proc:2 3 in
+  Alcotest.(check int) "reads back" 77 v;
+  check_inv env
+
+let test_replication () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 1 5 in
+  let v, _ = read env ~proc:1 1 in
+  Alcotest.(check int) "replica data" 5 v;
+  Alcotest.check state "modified -> present+ via replication" Cpage.Present_plus
+    pages.(0).Cpage.state;
+  Alcotest.(check int) "two copies" 2 (Cpage.ncopies pages.(0));
+  Alcotest.(check int) "replications counted" 1 pages.(0).Cpage.stats.Cpage.replications;
+  Alcotest.(check int) "restriction counted" 1 pages.(0).Cpage.stats.Cpage.restrictions;
+  check_inv env
+
+let test_replication_not_a_protocol_invalidation () =
+  (* Restricting the writer during replication must not mark the page as
+     write-shared, or pivot rows would freeze (§4.2/§5.1). *)
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 9 in
+  let _ = read env ~proc:1 0 in
+  let _ = read env ~proc:2 0 in
+  Alcotest.(check bool) "not frozen" false pages.(0).Cpage.frozen;
+  Alcotest.(check int) "three copies" 3 (Cpage.ncopies pages.(0));
+  Alcotest.(check bool) "no protocol invalidation recorded" true
+    (pages.(0).Cpage.last_protocol_inval = Cpage.never_invalidated);
+  check_inv env
+
+let test_present1_to_modified_cheap () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _, _ = read env ~proc:0 0 in
+  (* Same processor upgrades to write: no shootdown, no copy. *)
+  let before = (Coherent.counters env.coh).Counters.shootdowns in
+  let lat = write env ~proc:0 0 1 in
+  Alcotest.check state "present1 -> modified" Cpage.Modified pages.(0).Cpage.state;
+  Alcotest.(check int) "no shootdown" before (Coherent.counters env.coh).Counters.shootdowns;
+  Alcotest.(check bool) "cheap (no block copy)" true (lat < 500_000);
+  check_inv env
+
+let test_write_collapses_replicas () =
+  let env = mk ~nprocs:4 () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  List.iter (fun p -> ignore (read env ~proc:p 0)) [ 1; 2; 3 ];
+  Alcotest.(check int) "four copies" 4 (Cpage.ncopies pages.(0));
+  (* Writer writes again: all other copies invalidated and freed. *)
+  let _ = write env ~proc:0 1 42 in
+  Alcotest.check state "back to modified" Cpage.Modified pages.(0).Cpage.state;
+  Alcotest.(check int) "single copy" 1 (Cpage.ncopies pages.(0));
+  Alcotest.(check bool) "kept the writer's copy" true (Cpage.has_copy_on pages.(0) 0);
+  Alcotest.(check bool) "invalidation recorded" true
+    (pages.(0).Cpage.last_protocol_inval <> Cpage.never_invalidated);
+  (* Readers refault and see fresh data. *)
+  let v, _ = read env ~proc:2 1 in
+  Alcotest.(check int) "fresh value" 42 v;
+  check_inv env
+
+let test_migration_on_write () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 2 10 in
+  (* Another processor writes much later (outside t1): migration. *)
+  let t = 100_000_000 in
+  let _ = write env ~now:t ~proc:3 2 11 in
+  Alcotest.check state "still modified" Cpage.Modified pages.(0).Cpage.state;
+  Alcotest.(check bool) "moved to writer" true (Cpage.has_copy_on pages.(0) 3);
+  Alcotest.(check bool) "left the old home" false (Cpage.has_copy_on pages.(0) 0);
+  Alcotest.(check int) "migration counted" 1 pages.(0).Cpage.stats.Cpage.migrations;
+  let v, _ = read env ~now:(t + 1) ~proc:3 2 in
+  Alcotest.(check int) "value moved with the page" 11 v;
+  (* The other words survived the migration copy. *)
+  let v0, _ = read env ~now:(t + 2) ~proc:3 3 in
+  Alcotest.(check int) "rest of page intact" 0 v0;
+  check_inv env
+
+let test_freeze_on_write_sharing () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~now:0 ~proc:0 0 1 in
+  let _ = read env ~now:1000 ~proc:1 0 in
+  (* Writer invalidates the replica... *)
+  let _ = write env ~now:2000 ~proc:0 0 2 in
+  (* ...and the reader comes right back: within t1, so freeze. *)
+  let v, _ = read env ~now:3000 ~proc:1 0 in
+  Alcotest.(check int) "remote read sees the data" 2 v;
+  Alcotest.(check bool) "frozen" true pages.(0).Cpage.frozen;
+  Alcotest.(check int) "one copy" 1 (Cpage.ncopies pages.(0));
+  Alcotest.(check int) "remote map counted" 1 pages.(0).Cpage.stats.Cpage.remote_maps;
+  Alcotest.(check bool) "on the frozen list" true
+    (List.memq pages.(0) (Coherent.frozen_pages env.coh));
+  check_inv env
+
+let freeze_a_page env page =
+  ignore (write env ~now:0 ~proc:0 0 1);
+  ignore (read env ~now:1000 ~proc:1 0);
+  ignore (write env ~now:2000 ~proc:0 0 2);
+  ignore (read env ~now:3000 ~proc:1 0);
+  Alcotest.(check bool) "setup: frozen" true page.Cpage.frozen
+
+let test_frozen_full_rights () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  freeze_a_page env pages.(0);
+  (* The remote mapping was granted full rights: a write by the reader
+     does not fault again. *)
+  let faults_before = pages.(0).Cpage.stats.Cpage.write_faults in
+  let _ = write env ~now:4000 ~proc:1 0 3 in
+  Alcotest.(check int) "no new fault" faults_before pages.(0).Cpage.stats.Cpage.write_faults;
+  let v, _ = read env ~now:5000 ~proc:0 0 in
+  Alcotest.(check int) "write went to the single copy" 3 v;
+  check_inv env
+
+let test_thaw_allows_replication () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  freeze_a_page env pages.(0);
+  let t = 200_000_000 in
+  Coherent.thaw_page env.coh ~now:t pages.(0);
+  Alcotest.(check bool) "unfrozen" false pages.(0).Cpage.frozen;
+  Alcotest.check state "single read-only copy" Cpage.Present1 pages.(0).Cpage.state;
+  (* Next reader replicates: the thaw didn't count as interference. *)
+  let _ = read env ~now:(t + 1000) ~proc:1 0 in
+  Alcotest.(check int) "replicated after thaw" 2 (Cpage.ncopies pages.(0));
+  Alcotest.(check int) "thaw counted" 1 pages.(0).Cpage.stats.Cpage.thaws;
+  check_inv env
+
+let test_defrost_daemon () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  freeze_a_page env pages.(0);
+  Defrost.install env.coh env.engine;
+  (* Run past one defrost period (t2 = 1 s). *)
+  Engine.run_until env.engine 1_100_000_000;
+  Alcotest.(check bool) "daemon thawed the page" false pages.(0).Cpage.frozen;
+  Alcotest.(check int) "frozen list empty" 0 (List.length (Coherent.frozen_pages env.coh));
+  check_inv env
+
+let test_thaw_on_fault_policy () =
+  let config = Config.butterfly_plus ~nprocs:4 ~page_words:8 () in
+  let policy =
+    Policy.make ~t1:config.Config.t1_freeze_window (Policy.Platinum { thaw_on_fault = true })
+  in
+  let env = mk ~policy () in
+  let pages = bind_pages env 1 in
+  freeze_a_page env pages.(0);
+  (* A fault long after the window thaws and replicates. *)
+  let t = 50_000_000 in
+  let _ = read env ~now:t ~proc:2 0 in
+  Alcotest.(check bool) "thawed by the fault" false pages.(0).Cpage.frozen;
+  Alcotest.(check bool) "replicated" true (Cpage.ncopies pages.(0) >= 2);
+  check_inv env
+
+(* --- replication policies --- *)
+
+let test_policy_static_place () =
+  let env = mk ~policy:(Policy.make ~t1:0 Policy.Never_move) () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 5 in
+  let v, _ = read env ~proc:3 0 in
+  Alcotest.(check int) "remote read works" 5 v;
+  Alcotest.(check int) "never replicates" 1 (Cpage.ncopies pages.(0));
+  Alcotest.(check bool) "page stayed put" true (Cpage.has_copy_on pages.(0) 0);
+  let _ = write env ~proc:3 1 6 in
+  Alcotest.(check bool) "writes don't move it either" true (Cpage.has_copy_on pages.(0) 0);
+  check_inv env
+
+let test_policy_migrate_only () =
+  let env = mk ~policy:(Policy.make ~t1:0 Policy.Migrate_only) () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 5 in
+  let _ = read env ~proc:1 0 in
+  Alcotest.(check int) "reads never replicate" 1 (Cpage.ncopies pages.(0));
+  let _ = write env ~proc:1 0 6 in
+  Alcotest.(check bool) "writes migrate" true (Cpage.has_copy_on pages.(0) 1);
+  Alcotest.(check int) "still one copy" 1 (Cpage.ncopies pages.(0));
+  check_inv env
+
+let test_policy_bolosky () =
+  let env = mk ~policy:(Policy.make ~t1:0 (Policy.Bolosky { max_migrations = 2 })) () in
+  let pages = bind_pages env 2 in
+  let pw = Coherent.page_words env.coh in
+  (* Page 0 is never written: replicates freely. *)
+  let _ = read env ~proc:0 0 in
+  let _ = read env ~proc:1 0 in
+  Alcotest.(check int) "read-only page replicates" 2 (Cpage.ncopies pages.(0));
+  (* Page 1 is written: never replicated for reads, migrates at most twice. *)
+  let _ = write env ~proc:0 pw 1 in
+  let _ = read env ~proc:1 pw in
+  Alcotest.(check int) "written page not replicated" 1 (Cpage.ncopies pages.(1));
+  let _ = write env ~proc:1 pw 2 in
+  let _ = write env ~proc:2 pw 3 in
+  Alcotest.(check int) "two migrations allowed" 2 pages.(1).Cpage.stats.Cpage.migrations;
+  let _ = write env ~proc:3 pw 4 in
+  Alcotest.(check int) "third write froze in place" 2 pages.(1).Cpage.stats.Cpage.migrations;
+  Alcotest.(check bool) "page stayed on proc 2's module" true (Cpage.has_copy_on pages.(1) 2);
+  check_inv env
+
+let test_policy_competitive () =
+  let env = mk ~policy:(Policy.make ~t1:0 (Policy.Competitive { threshold = 3 })) () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 5 in
+  (* First two remote readers are mapped remotely; the third miss pays
+     for a replica. *)
+  let _ = read env ~now:1_000 ~proc:1 0 in
+  Alcotest.(check int) "first miss: remote" 1 (Cpage.ncopies pages.(0));
+  let _ = read env ~now:2_000 ~proc:2 0 in
+  Alcotest.(check int) "second miss: still remote" 1 (Cpage.ncopies pages.(0));
+  let _ = read env ~now:3_000 ~proc:3 0 in
+  Alcotest.(check int) "third miss: replicated" 2 (Cpage.ncopies pages.(0));
+  check_inv env
+
+let test_policy_always_replicate () =
+  let env = mk ~policy:(Policy.make ~t1:0 Policy.Always_replicate) () in
+  let pages = bind_pages env 1 in
+  (* Ping-pong writes migrate every time; never freezes. *)
+  for round = 0 to 5 do
+    ignore (write env ~now:(round * 100) ~proc:(round mod 2) 0 round)
+  done;
+  Alcotest.(check bool) "never frozen" false pages.(0).Cpage.stats.Cpage.was_frozen;
+  Alcotest.(check bool) "migrated repeatedly" true (pages.(0).Cpage.stats.Cpage.migrations >= 4);
+  check_inv env
+
+let test_policy_of_string () =
+  List.iter
+    (fun name ->
+      match Policy.of_string ~t1:1000 name with
+      | Ok p -> Alcotest.(check string) "round-trips" name p.Policy.name
+      | Error e -> Alcotest.fail e)
+    Policy.default_names;
+  Alcotest.(check bool) "unknown rejected" true
+    (match Policy.of_string ~t1:0 "nonsense" with Error _ -> true | Ok _ -> false)
+
+(* --- shootdown mechanics --- *)
+
+let test_shootdown_targets_only_holders () =
+  let env = mk ~nprocs:4 () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  let _ = read env ~proc:1 0 in
+  (* proc 2 and 3 never touched the page: the collapse below must not
+     interrupt them (refmask-driven shootdown, §3.1). *)
+  let ints_before = (Coherent.counters env.coh).Counters.interrupts in
+  let _ = write env ~proc:0 0 2 in
+  let ints = (Coherent.counters env.coh).Counters.interrupts - ints_before in
+  Alcotest.(check int) "exactly one processor interrupted" 1 ints;
+  ignore pages;
+  check_inv env
+
+let test_shootdown_inactive_deferred () =
+  let env = mk ~nprocs:4 () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  let _ = read env ~proc:1 0 in
+  (* proc 1 deactivates the address space (switches to another). *)
+  let other = Coherent.new_aspace env.coh in
+  ignore (Coherent.activate env.coh ~now:0 ~proc:1 ~aspace:(Cmap.aspace other));
+  let def_before = (Coherent.counters env.coh).Counters.deferred_updates in
+  let ints_before = (Coherent.counters env.coh).Counters.interrupts in
+  let _ = write env ~proc:0 0 2 in
+  Alcotest.(check int) "no interrupt for inactive holder" ints_before
+    (Coherent.counters env.coh).Counters.interrupts;
+  Alcotest.(check bool) "applied as deferred update" true
+    ((Coherent.counters env.coh).Counters.deferred_updates > def_before);
+  ignore pages;
+  check_inv env
+
+let test_refmask_tracks_pmaps () =
+  let env = mk ~nprocs:4 () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  List.iter (fun p -> ignore (read env ~proc:p 0)) [ 1; 2 ];
+  let ce = Option.get (Cmap.find env.cm ~vpage:0) in
+  Alcotest.(check (list int)) "refmask = touchers" [ 0; 1; 2 ] (Procset.to_list ce.Cmap.refmask);
+  let _ = write env ~proc:0 0 2 in
+  Alcotest.(check (list int)) "collapse clears other holders" [ 0 ]
+    (Procset.to_list ce.Cmap.refmask);
+  ignore pages;
+  check_inv env
+
+(* --- multiple address spaces --- *)
+
+let test_multi_aspace_sharing () =
+  let env = mk ~nprocs:4 () in
+  let page = Coherent.new_cpage env.coh ~label:"shared" () in
+  let cm2 = Coherent.new_aspace env.coh in
+  Coherent.bind env.coh env.cm ~vpage:0 page Rights.Read_write;
+  Coherent.bind env.coh cm2 ~vpage:5 page Rights.Read_only;
+  let pw = Coherent.page_words env.coh in
+  ignore pw;
+  let _ = Coherent.write_word env.coh ~now:0 ~proc:0 ~cmap:env.cm ~vaddr:2 99 in
+  (* The second space reads the same coherent page at a different vaddr. *)
+  let v, _ = Coherent.read_word env.coh ~now:1000 ~proc:1 ~cmap:cm2 ~vaddr:(5 * pw + 2) in
+  Alcotest.(check int) "shared data visible across spaces" 99 v;
+  (* A write in space 1 shoots down the mapping in space 2. *)
+  let _ =
+    Coherent.write_word env.coh ~now:100_000_000 ~proc:0 ~cmap:env.cm ~vaddr:2 100
+  in
+  let v2, _ =
+    Coherent.read_word env.coh ~now:100_001_000 ~proc:1 ~cmap:cm2 ~vaddr:((5 * pw) + 2)
+  in
+  Alcotest.(check int) "space 2 sees the new value" 100 v2;
+  check_inv env
+
+let test_multi_aspace_protection () =
+  let env = mk () in
+  let page = Coherent.new_cpage env.coh () in
+  let cm2 = Coherent.new_aspace env.coh in
+  Coherent.bind env.coh env.cm ~vpage:0 page Rights.Read_write;
+  Coherent.bind env.coh cm2 ~vpage:0 page Rights.Read_only;
+  ignore (Coherent.write_word env.coh ~now:0 ~proc:0 ~cmap:env.cm ~vaddr:0 1);
+  Alcotest.(check bool) "read-only space cannot write" true
+    (try
+       ignore (Coherent.write_word env.coh ~now:0 ~proc:1 ~cmap:cm2 ~vaddr:0 2);
+       false
+     with Fault.Protection_violation _ -> true)
+
+let test_unmapped_raises () =
+  let env = mk () in
+  Alcotest.(check bool) "unmapped fault escapes to VM" true
+    (try
+       ignore (read env ~proc:0 0);
+       false
+     with Fault.Unmapped { vpage = 0; _ } -> true)
+
+let test_unbind_shootdown () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  let _ = read env ~proc:1 0 in
+  let _lat = Coherent.unbind env.coh ~now:0 env.cm ~vpage:0 in
+  Alcotest.(check bool) "binding gone" true (Cmap.find env.cm ~vpage:0 = None);
+  Alcotest.(check bool) "unmapped now" true
+    (try
+       ignore (read env ~proc:1 0);
+       false
+     with Fault.Unmapped _ -> true);
+  ignore pages
+
+(* --- ATC behaviour --- *)
+
+let test_atc_hit_free () =
+  let env = mk () in
+  let _ = bind_pages env 1 in
+  let _ = read env ~proc:0 0 in
+  (* Issue the second read after the first fault's module occupancy has
+     drained, so only the translation path is measured. *)
+  let _, lat = read env ~now:10_000_000 ~proc:0 1 in
+  Alcotest.(check int) "ATC hit costs only the access" env.config.Config.t_local_word lat
+
+let test_atc_flush_on_switch () =
+  let env = mk () in
+  let _ = bind_pages env 1 in
+  let _ = read env ~proc:0 0 in
+  (* Activate another space on proc 0, then come back: ATC was flushed,
+     so the next access reloads from the Pmap. *)
+  let other = Coherent.new_aspace env.coh in
+  ignore (Coherent.activate env.coh ~now:0 ~proc:0 ~aspace:(Cmap.aspace other));
+  let reloads_before = (Coherent.counters env.coh).Counters.atc_reloads in
+  let _, _lat = read env ~proc:0 0 in
+  Alcotest.(check int) "pmap reload, not a fault" (reloads_before + 1)
+    (Coherent.counters env.coh).Counters.atc_reloads
+
+(* --- block operations --- *)
+
+let test_block_ops_cross_pages () =
+  let env = mk ~page_words:8 () in
+  let pages = bind_pages env 3 in
+  let data = Array.init 20 (fun i -> i * 7) in
+  let _ = Coherent.block_write env.coh ~now:0 ~proc:0 ~cmap:env.cm ~vaddr:3 data in
+  let got, _ = Coherent.block_read env.coh ~now:1000 ~proc:1 ~cmap:env.cm ~vaddr:3 ~len:20 in
+  Alcotest.(check (array int)) "round trip across pages" data got;
+  Alcotest.(check int) "three pages touched" 3
+    (Array.fold_left (fun acc p -> acc + if Cpage.ncopies p > 0 then 1 else 0) 0 pages);
+  check_inv env
+
+let test_rmw () =
+  let env = mk () in
+  let _ = bind_pages env 1 in
+  let _ = write env ~proc:0 0 10 in
+  let old, _ = Coherent.rmw_word env.coh ~now:0 ~proc:0 ~cmap:env.cm ~vaddr:0 (fun v -> v + 5) in
+  Alcotest.(check int) "returns old" 10 old;
+  let v, _ = read env ~proc:0 0 in
+  Alcotest.(check int) "applied" 15 v
+
+(* --- resource exhaustion --- *)
+
+let test_oom_falls_back_to_remote () =
+  (* 2 processors, 1 frame each.  Two pages fill the machine; a third
+     page cannot replicate and the protocol must fall back to remote
+     mappings rather than dying. *)
+  let env = mk ~nprocs:2 ~frames:1 () in
+  let pages = bind_pages env 2 in
+  let pw = Coherent.page_words env.coh in
+  let _ = write env ~proc:0 0 1 in
+  let _ = write env ~proc:1 pw 2 in
+  (* proc 1 reads page 0: no frame anywhere for a replica. *)
+  let v, _ = read env ~proc:1 0 in
+  Alcotest.(check int) "remote fallback works" 1 v;
+  Alcotest.(check int) "no replica" 1 (Cpage.ncopies pages.(0));
+  check_inv env
+
+(* --- invariant checker sanity --- *)
+
+let test_invariant_checker_detects_corruption () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = read env ~proc:0 0 in
+  pages.(0).Cpage.state <- Cpage.Modified (* lie *);
+  Alcotest.(check bool) "corruption detected" true
+    (match Coherent.check_invariants env.coh with Error _ -> true | Ok () -> false)
+
+let test_cpage_invariants_unit () =
+  let p = Cpage.create ~id:0 ~home:0 () in
+  Alcotest.(check bool) "fresh page ok" true (Cpage.check_invariants p = Ok ());
+  let f = Platinum_phys.Frame.create ~mem_module:1 ~index:0 ~words:4 in
+  Cpage.add_copy p f;
+  Cpage.sync_state p;
+  Alcotest.(check bool) "present1 ok" true (Cpage.check_invariants p = Ok ());
+  Alcotest.(check bool) "double add same module rejected" true
+    (try
+       Cpage.add_copy p (Platinum_phys.Frame.create ~mem_module:1 ~index:1 ~words:4);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- randomized protocol-vs-oracle property --- *)
+
+(* Random word reads/writes from random processors against a flat oracle
+   array; after every operation the data must agree and all machine-wide
+   invariants must hold.  This is the strongest single check on the
+   protocol: any stale replica, lost invalidation, or wrong-copy write
+   shows up as a value mismatch. *)
+let run_protocol_oracle ?(local_caches = false) ~policy_kind ~seed ~ops () =
+  let npages = 4 and page_words = 8 and nprocs = 4 in
+  let policy = Policy.make ~t1:5_000 policy_kind in
+  let env = mk ~nprocs ~page_words ~frames:8 ~local_caches ~policy () in
+  let _pages = bind_pages env npages in
+  let oracle = Array.make (npages * page_words) 0 in
+  let rng = Rng.create (Int64.of_int seed) in
+  let now = ref 0 in
+  let ok = ref true in
+  for op = 1 to ops do
+    now := !now + Rng.int rng 4_000;
+    let proc = Rng.int rng nprocs in
+    let vaddr = Rng.int rng (npages * page_words) in
+    match Rng.int rng 4 with
+    | 0 ->
+      let v, _ = read env ~now:!now ~proc vaddr in
+      if v <> oracle.(vaddr) then ok := false
+    | 1 ->
+      let v = op in
+      ignore (write env ~now:!now ~proc vaddr v);
+      oracle.(vaddr) <- v
+    | 2 ->
+      let old, _ =
+        Coherent.rmw_word env.coh ~now:!now ~proc ~cmap:env.cm ~vaddr (fun v -> v + 1)
+      in
+      if old <> oracle.(vaddr) then ok := false;
+      oracle.(vaddr) <- oracle.(vaddr) + 1
+    | _ ->
+      let len = 1 + Rng.int rng (min 12 ((npages * page_words) - vaddr)) in
+      let got, _ = Coherent.block_read env.coh ~now:!now ~proc ~cmap:env.cm ~vaddr ~len in
+      if got <> Array.sub oracle vaddr len then ok := false
+  done;
+  (* Global accounting: no physical frame may leak (every allocated frame
+     is in exactly one directory), and the freeze ledger must balance. *)
+  let phys = Coherent.phys env.coh in
+  let allocated =
+    Platinum_phys.Phys_mem.total_frames phys - Platinum_phys.Phys_mem.total_free phys
+  in
+  let in_directories = ref 0 in
+  Coherent.iter_cpages (fun p -> in_directories := !in_directories + Cpage.ncopies p) env.coh;
+  let counters = Coherent.counters env.coh in
+  let frozen_now = List.length (Coherent.frozen_pages env.coh) in
+  !ok
+  && Coherent.check_invariants env.coh = Ok ()
+  && allocated = !in_directories
+  && counters.Counters.freezes - counters.Counters.thaws = frozen_now
+
+let prop_protocol_oracle ?local_caches kind name =
+  QCheck.Test.make ~name ~count:30 QCheck.(int_bound 1_000_000) (fun seed ->
+      run_protocol_oracle ?local_caches ~policy_kind:kind ~seed ~ops:300 ())
+
+(* --- §7 local caches --- *)
+
+let test_cached_read_hit_is_fast () =
+  let env = mk ~local_caches:true () in
+  let _ = bind_pages env 1 in
+  let _ = read env ~proc:0 0 in
+  (* vaddr 4 is on a different 2-word line than vaddr 0. *)
+  let _, miss = read env ~now:10_000_000 ~proc:0 4 in
+  let _, hit = read env ~now:20_000_000 ~proc:0 4 in
+  Alcotest.(check int) "first access misses the cache" env.config.Config.t_local_word miss;
+  Alcotest.(check int) "second hits at t_cache_hit" env.config.Config.t_cache_hit hit
+
+let test_cached_frozen_page_not_cached () =
+  let env = mk ~local_caches:true () in
+  let pages = bind_pages env 1 in
+  freeze_a_page env pages.(0);
+  (* Remote reader of the frozen page: never a cache hit. *)
+  let _, l1 = read env ~now:10_000_000 ~proc:1 0 in
+  let _, l2 = read env ~now:20_000_000 ~proc:1 0 in
+  Alcotest.(check bool) "still paying remote latency" true
+    (l1 >= env.config.Config.t_remote_read_word && l2 >= env.config.Config.t_remote_read_word)
+
+let test_cached_no_stale_read_after_upgrade () =
+  let env = mk ~local_caches:true () in
+  let _ = bind_pages env 1 in
+  (* proc 1 reads (fills its cache from the zero-filled page)... *)
+  let _ = read env ~proc:1 0 in
+  let v0, _ = read env ~now:10_000_000 ~proc:1 0 in
+  Alcotest.(check int) "cached zero" 0 v0;
+  (* ...proc 1's copy is the one proc 0 maps too (same single copy);
+     proc 0 upgrades and writes.  proc 1 must not see its stale line. *)
+  let _ = write env ~now:100_000_000 ~proc:0 0 99 in
+  let v, _ = read env ~now:100_001_000 ~proc:1 0 in
+  Alcotest.(check int) "fresh value after upgrade" 99 v;
+  check_inv env
+
+let test_cached_word_write_invalidates_peers () =
+  let env = mk ~local_caches:true ~policy:(Policy.make ~t1:0 Policy.Never_move) () in
+  let _ = bind_pages env 1 in
+  (* Static placement: one copy on proc 0's module, everyone maps it. *)
+  let _ = write env ~proc:0 0 1 in
+  let _ = read env ~now:10_000_000 ~proc:0 0 in
+  let _ = read env ~now:20_000_000 ~proc:0 0 in
+  (* A write from proc 1 through its remote mapping must invalidate
+     proc 0's cached line. *)
+  let _ = write env ~now:30_000_000 ~proc:1 0 2 in
+  let v, _ = read env ~now:40_000_000 ~proc:0 0 in
+  Alcotest.(check int) "no stale cached word" 2 v;
+  check_inv env
+
+(* The transition atlas must match Figure 4 edge for edge. *)
+let test_atlas_matches_figure4 () =
+  let module Atlas = Platinum_core.Atlas in
+  let expected =
+    [
+      (Cpage.Empty, Cpage.Present1, "read miss (zero fill)");
+      (Cpage.Empty, Cpage.Modified, "write miss (zero fill)");
+      (Cpage.Present1, Cpage.Present_plus, "read miss (replicate)");
+      (Cpage.Modified, Cpage.Present_plus, "read miss (replicate, restrict writer)");
+      (Cpage.Present1, Cpage.Modified, "write hit upgrade (no invalidation)");
+      (Cpage.Modified, Cpage.Modified, "write miss (migrate)");
+      (Cpage.Present_plus, Cpage.Modified, "write miss (invalidate replicas)");
+      (Cpage.Modified, Cpage.Modified, "read miss on frozen page (remote map)");
+      (Cpage.Modified, Cpage.Present1, "defrost daemon thaw");
+      (Cpage.Present_plus, Cpage.Present_plus, "further replication (present+)");
+    ]
+  in
+  let got =
+    List.map
+      (fun e -> (e.Atlas.from_state, e.Atlas.to_state, e.Atlas.trigger))
+      (Atlas.edges ())
+  in
+  List.iter
+    (fun edge ->
+      Alcotest.(check bool)
+        (let _, _, t = edge in
+         "edge present: " ^ t)
+        true (List.mem edge got))
+    expected;
+  Alcotest.(check int) "no extra edges" (List.length expected) (List.length got)
+
+let suite =
+  [
+    ("protocol: empty -> present1 on read", `Quick, test_empty_read);
+    ("protocol: atlas matches Figure 4", `Quick, test_atlas_matches_figure4);
+    ("protocol: empty -> modified on write", `Quick, test_empty_write);
+    ("protocol: replication on read miss", `Quick, test_replication);
+    ("protocol: replication isn't interference", `Quick, test_replication_not_a_protocol_invalidation);
+    ("protocol: present1 -> modified is cheap", `Quick, test_present1_to_modified_cheap);
+    ("protocol: write collapses replicas", `Quick, test_write_collapses_replicas);
+    ("protocol: write miss migrates", `Quick, test_migration_on_write);
+    ("policy: fine-grain sharing freezes", `Quick, test_freeze_on_write_sharing);
+    ("policy: frozen pages map with full rights", `Quick, test_frozen_full_rights);
+    ("policy: thaw allows replication", `Quick, test_thaw_allows_replication);
+    ("policy: defrost daemon thaws", `Quick, test_defrost_daemon);
+    ("policy: thaw-on-fault variant", `Quick, test_thaw_on_fault_policy);
+    ("policy: static placement", `Quick, test_policy_static_place);
+    ("policy: migrate-only", `Quick, test_policy_migrate_only);
+    ("policy: bolosky", `Quick, test_policy_bolosky);
+    ("policy: competitive (fault-sampled)", `Quick, test_policy_competitive);
+    ("policy: always-replicate", `Quick, test_policy_always_replicate);
+    ("policy: of_string", `Quick, test_policy_of_string);
+    ("shootdown: only holders targeted", `Quick, test_shootdown_targets_only_holders);
+    ("shootdown: inactive holders deferred", `Quick, test_shootdown_inactive_deferred);
+    ("shootdown: refmask tracks pmaps", `Quick, test_refmask_tracks_pmaps);
+    ("aspace: sharing across spaces", `Quick, test_multi_aspace_sharing);
+    ("aspace: per-space protection", `Quick, test_multi_aspace_protection);
+    ("aspace: unmapped raises", `Quick, test_unmapped_raises);
+    ("aspace: unbind shoots down", `Quick, test_unbind_shootdown);
+    ("atc: hits are free", `Quick, test_atc_hit_free);
+    ("atc: flushed on space switch", `Quick, test_atc_flush_on_switch);
+    ("access: block ops cross pages", `Quick, test_block_ops_cross_pages);
+    ("access: rmw", `Quick, test_rmw);
+    ("robustness: OOM falls back to remote maps", `Quick, test_oom_falls_back_to_remote);
+    ("invariants: checker detects corruption", `Quick, test_invariant_checker_detects_corruption);
+    ("invariants: cpage unit checks", `Quick, test_cpage_invariants_unit);
+    ("caches: hits are fast", `Quick, test_cached_read_hit_is_fast);
+    ("caches: frozen pages bypass the cache", `Quick, test_cached_frozen_page_not_cached);
+    ("caches: no stale read after upgrade", `Quick, test_cached_no_stale_read_after_upgrade);
+    ("caches: writes invalidate peers", `Quick, test_cached_word_write_invalidates_peers);
+    qtest (prop_protocol_oracle (Policy.Platinum { thaw_on_fault = false }) "oracle: platinum policy");
+    qtest
+      (prop_protocol_oracle ~local_caches:true
+         (Policy.Platinum { thaw_on_fault = false })
+         "oracle: platinum policy + section-7 local caches");
+    qtest
+      (prop_protocol_oracle ~local_caches:true Policy.Never_move
+         "oracle: static placement + section-7 local caches");
+    qtest
+      (prop_protocol_oracle ~local_caches:true Policy.Always_replicate
+         "oracle: always-replicate + section-7 local caches");
+    qtest (prop_protocol_oracle (Policy.Platinum { thaw_on_fault = true }) "oracle: platinum-thaw policy");
+    qtest (prop_protocol_oracle Policy.Always_replicate "oracle: always-replicate policy");
+    qtest (prop_protocol_oracle Policy.Never_move "oracle: static placement policy");
+    qtest (prop_protocol_oracle Policy.Migrate_only "oracle: migrate-only policy");
+    qtest (prop_protocol_oracle (Policy.Bolosky { max_migrations = 3 }) "oracle: bolosky policy");
+    qtest (prop_protocol_oracle (Policy.Competitive { threshold = 3 }) "oracle: competitive policy");
+  ]

@@ -1,0 +1,265 @@
+(* Cross-layer integration tests: whole-stack scenarios exercising the
+   kernel, VM, coherent memory, and machine model together. *)
+
+module Config = Platinum_machine.Config
+module Api = Platinum_kernel.Api
+module Sync = Platinum_kernel.Sync
+module Runner = Platinum_runner.Runner
+module Report = Platinum_stats.Report
+module Trace = Platinum_stats.Trace
+module Probe = Platinum_core.Probe
+module Policy = Platinum_core.Policy
+module Coherent = Platinum_core.Coherent
+module Counters = Platinum_core.Counters
+module Outcome = Platinum_workload.Outcome
+module Gauss = Platinum_workload.Gauss
+
+(* Counters and per-page stats must agree after a nontrivial run. *)
+let test_counters_agree_with_page_stats () =
+  let out, main = Gauss.make (Gauss.params ~n:48 ~nprocs:4 ()) in
+  let r = Runner.time main in
+  Alcotest.(check bool) "ok" true out.Outcome.ok;
+  let c = Coherent.counters r.Runner.setup.Runner.coherent in
+  let sum f =
+    List.fold_left (fun acc row -> acc + f row) 0 r.Runner.report.Report.pages
+  in
+  Alcotest.(check int) "read faults agree" c.Counters.read_faults
+    (sum (fun row -> row.Report.read_faults));
+  Alcotest.(check int) "write faults agree" c.Counters.write_faults
+    (sum (fun row -> row.Report.write_faults));
+  Alcotest.(check int) "replications agree" c.Counters.replications
+    (sum (fun row -> row.Report.replications));
+  Alcotest.(check int) "migrations agree" c.Counters.migrations
+    (sum (fun row -> row.Report.migrations))
+
+(* The trace sees exactly as many replication events as the counters. *)
+let test_trace_agrees_with_counters () =
+  let out, main = Gauss.make (Gauss.params ~n:48 ~nprocs:4 ~verify:false ()) in
+  let setup = Runner.make () in
+  let tr = Trace.create ~capacity:1_000_000 () in
+  Trace.attach tr setup.Runner.coherent;
+  let r = Runner.run setup ~main in
+  Alcotest.(check bool) "ok" true out.Outcome.ok;
+  let c = Coherent.counters r.Runner.setup.Runner.coherent in
+  Alcotest.(check int) "replication events"
+    c.Counters.replications
+    (Trace.count tr (function Probe.Replicated _ -> true | _ -> false));
+  Alcotest.(check int) "freeze events" c.Counters.freezes
+    (Trace.count tr (function Probe.Frozen _ -> true | _ -> false))
+
+(* Physical memory exhaustion mid-workload degrades to remote mappings
+   without corrupting results. *)
+let test_oom_under_load () =
+  let config = Config.butterfly_plus ~nprocs:8 () in
+  (* 8 frames per module: far too few for full replication of 12 pages by
+     8 readers. *)
+  let sums = Array.make 8 0 in
+  let r =
+    Runner.time ~config ~frames_per_module:8 ~default_zone_pages:12 (fun () ->
+        let words = 12 * Api.page_words () in
+        let data = Api.alloc_pages 12 in
+        Api.block_write data (Array.init words (fun i -> i land 0xFF));
+        let zone_sync = Api.new_zone "sync" ~pages:1 in
+        let barrier = Sync.Barrier.make ~zone:zone_sync ~parties:8 () in
+        let worker me =
+          Sync.Barrier.wait barrier;
+          let a = Api.block_read (data + (me * 16)) 1024 in
+          sums.(me) <- Array.fold_left ( + ) 0 a
+        in
+        Api.spawn_join_all ~procs:(List.init 8 (fun i -> i))
+          (List.init 8 (fun me _ -> worker me)))
+  in
+  (* Results correct despite the memory squeeze... *)
+  for me = 0 to 7 do
+    let expect = ref 0 in
+    for i = 0 to 1023 do
+      expect := !expect + ((me * 16) + i) land 0xFF
+    done;
+    Alcotest.(check int) (Printf.sprintf "worker %d sum" me) !expect sums.(me)
+  done;
+  (* ...and the protocol really did fall back to remote mappings. *)
+  let c = Coherent.counters r.Runner.setup.Runner.coherent in
+  Alcotest.(check bool) "remote fallbacks happened" true (c.Counters.remote_maps > 0)
+
+(* Thread migration carries locality: after migrating, a thread's writes
+   pull its pages to the new node. *)
+let test_migration_moves_working_set () =
+  let page_home = ref (-1) in
+  let r =
+    Runner.time (fun () ->
+        let a = Api.alloc_pages 1 in
+        let t =
+          Api.spawn ~proc:0 (fun () ->
+              Api.write a 1;
+              Api.migrate 5;
+              (* t1 must have expired for the write to migrate the page *)
+              Api.compute 50_000_000;
+              Api.write a 2)
+        in
+        Api.join t)
+  in
+  Coherent.iter_cpages
+    (fun p ->
+      if p.Platinum_core.Cpage.label = "heap[0]" then
+        page_home :=
+          (match p.Platinum_core.Cpage.copies with
+          | [ f ] -> Platinum_phys.Frame.mem_module f
+          | _ -> -2))
+    r.Runner.setup.Runner.coherent;
+  Alcotest.(check int) "page followed the thread to node 5" 5 !page_home
+
+(* Two PLATINUM instances in one process don't interfere (no hidden
+   global state). *)
+let test_instances_are_independent () =
+  let setup1 = Runner.make ~frames_per_module:32 () in
+  let setup2 = Runner.make ~frames_per_module:32 () in
+  let mk_main tag final = fun () ->
+    let a = Api.alloc 4 in
+    Api.write a tag;
+    final := Api.read a
+  in
+  let f1 = ref 0 and f2 = ref 0 in
+  ignore (Runner.run setup1 ~main:(mk_main 111 f1));
+  ignore (Runner.run setup2 ~main:(mk_main 222 f2));
+  Alcotest.(check int) "instance 1" 111 !f1;
+  Alcotest.(check int) "instance 2" 222 !f2
+
+(* A pipeline: producer on node 0 sends work through ports to a chain of
+   workers that each transform data held in coherent memory. *)
+let test_port_pipeline () =
+  let stages = 4 in
+  let final = ref [||] in
+  Runner.time (fun () ->
+      let ports = Array.init (stages + 1) (fun _ -> Api.new_port ()) in
+      let stage i =
+        let v = Api.recv ports.(i) in
+        let out = Array.map (fun x -> x + 1) v in
+        Api.send ports.(i + 1) out
+      in
+      let tids = List.init stages (fun i -> Api.spawn ~proc:(i + 1) (fun () -> stage i)) in
+      Api.send ports.(0) [| 10; 20; 30 |];
+      List.iter Api.join tids;
+      final := Api.recv ports.(stages))
+  |> ignore;
+  Alcotest.(check (array int)) "each stage incremented" [| 14; 24; 34 |] !final
+
+(* Deterministic replay with a different policy still matches itself. *)
+let test_policy_runs_deterministic () =
+  List.iter
+    (fun name ->
+      let config = Config.butterfly_plus ~nprocs:4 () in
+      let policy () =
+        match Policy.of_string ~t1:config.Config.t1_freeze_window name with
+        | Ok p -> p
+        | Error e -> failwith e
+      in
+      let go () =
+        let out, main = Gauss.make (Gauss.params ~n:32 ~nprocs:4 ~verify:false ()) in
+        let r = Runner.time ~config ~policy:(policy ()) main in
+        (out.Outcome.work_ns, r.Runner.elapsed)
+      in
+      Alcotest.(check bool) (name ^ " deterministic") true (go () = go ()))
+    [ "platinum"; "always-replicate"; "uniform-system" ]
+
+(* The kernel scheduler under oversubscription: 3x more threads than
+   processors, all doing memory work, all complete correctly. *)
+let test_oversubscription () =
+  let nthreads = 12 in
+  let results = Array.make nthreads 0 in
+  Runner.time ~config:(Config.butterfly_plus ~nprocs:4 ()) (fun () ->
+      let a = Api.alloc_pages 1 in
+      Api.block_write a (Array.init 64 (fun i -> i));
+      let worker me =
+        let data = Api.block_read a 64 in
+        Api.compute 5_000_000;
+        results.(me) <- Array.fold_left ( + ) 0 data + me
+      in
+      Api.spawn_join_all (List.init nthreads (fun me _ -> worker me)))
+  |> ignore;
+  Array.iteri
+    (fun me v -> Alcotest.(check int) (Printf.sprintf "thread %d" me) (2016 + me) v)
+    results
+
+(* Runner.speedup's convenience path. *)
+let test_runner_speedup_helper () =
+  let results =
+    Runner.speedup ~nprocs_list:[ 1; 4 ] ~frames_per_module:64 ~default_zone_pages:32
+      (fun ~nprocs () ->
+        (* Fixed total work, split across the workers. *)
+        let work () = Api.compute (80_000_000 / nprocs) in
+        Api.spawn_join_all
+          ~procs:(List.init nprocs (fun i -> i))
+          (List.init nprocs (fun _ _ -> work ())))
+  in
+  match results with
+  | [ (1, s1, _); (4, s4, _) ] ->
+    Alcotest.(check (float 0.01)) "baseline 1x" 1.0 s1;
+    Alcotest.(check bool) "perfectly parallel work scales" true (s4 > 3.5)
+  | _ -> Alcotest.fail "expected two points"
+
+(* The DOT rendering carries every edge. *)
+let test_atlas_dot () =
+  let module Atlas = Platinum_core.Atlas in
+  let edges = Atlas.edges () in
+  let dot = Atlas.to_dot edges in
+  Alcotest.(check bool) "digraph" true (String.length dot > 0);
+  List.iter
+    (fun (e : Atlas.edge) ->
+      let frag =
+        Printf.sprintf "\"%s\" -> \"%s\""
+          (Platinum_core.Cpage.state_to_string e.Atlas.from_state)
+          (Platinum_core.Cpage.state_to_string e.Atlas.to_state)
+      in
+      let contains sub s =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("edge in dot: " ^ frag) true (contains frag dot))
+    edges
+
+(* Lock-protected counter under randomized pacing: mutual exclusion must
+   hold for every schedule the jitter produces. *)
+let prop_lock_counter =
+  QCheck.Test.make ~name:"spinlock counter is exact under random pacing" ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let total = ref 0 in
+      let r =
+        Runner.time ~frames_per_module:64 ~default_zone_pages:32 (fun () ->
+            let rng = Platinum_sim.Rng.create (Int64.of_int seed) in
+            let lock = Sync.Spinlock.make () in
+            let counter = Api.alloc 1 in
+            let jitters =
+              Array.init 4 (fun _ -> Array.init 6 (fun _ -> Platinum_sim.Rng.int rng 300_000))
+            in
+            let worker me =
+              Array.iter
+                (fun j ->
+                  Api.compute j;
+                  Sync.Spinlock.with_lock lock (fun () ->
+                      let v = Api.read counter in
+                      Api.compute 20_000;
+                      Api.write counter (v + 1)))
+                jitters.(me)
+            in
+            Api.spawn_join_all ~procs:[ 0; 1; 2; 3 ] (List.init 4 (fun me _ -> worker me));
+            total := Api.read counter)
+      in
+      ignore r;
+      !total = 24)
+
+let suite =
+  [
+    ("counters agree with per-page stats", `Quick, test_counters_agree_with_page_stats);
+    ("trace agrees with counters", `Quick, test_trace_agrees_with_counters);
+    ("graceful degradation under OOM", `Quick, test_oom_under_load);
+    ("migration moves the working set", `Quick, test_migration_moves_working_set);
+    ("instances are independent", `Quick, test_instances_are_independent);
+    ("port pipeline across nodes", `Quick, test_port_pipeline);
+    ("all policies deterministic", `Quick, test_policy_runs_deterministic);
+    ("scheduler oversubscription", `Quick, test_oversubscription);
+    ("runner: speedup helper", `Quick, test_runner_speedup_helper);
+    ("atlas: DOT rendering", `Quick, test_atlas_dot);
+    QCheck_alcotest.to_alcotest prop_lock_counter;
+  ]

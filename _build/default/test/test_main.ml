@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "platinum"
+    [
+      ("sim", Test_sim.suite);
+      ("machine", Test_machine.suite);
+      ("phys", Test_phys.suite);
+      ("core", Test_core.suite);
+      ("vm", Test_vm.suite);
+      ("kernel", Test_kernel.suite);
+      ("cache", Test_cache.suite);
+      ("analysis", Test_analysis.suite);
+      ("micro", Test_micro.suite);
+      ("stats", Test_stats.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+      ("extensions", Test_extensions.suite);
+      ("units", Test_units.suite);
+    ]

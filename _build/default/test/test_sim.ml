@@ -1,0 +1,258 @@
+(* Tests for the discrete-event substrate: heaps, the engine, the PRNG. *)
+
+module Heap = Platinum_sim.Heap
+module Engine = Platinum_sim.Engine
+module Rng = Platinum_sim.Rng
+module Time_ns = Platinum_sim.Time_ns
+
+module IH = Heap.Make (Int)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Heap --- *)
+
+let test_heap_empty () =
+  Alcotest.(check bool) "empty is empty" true (IH.is_empty IH.empty);
+  Alcotest.(check bool) "find_min empty" true (IH.find_min IH.empty = None);
+  Alcotest.(check bool) "delete_min empty" true (IH.delete_min IH.empty = None)
+
+let test_heap_basic () =
+  let h = IH.of_list [ (3, "c"); (1, "a"); (2, "b") ] in
+  Alcotest.(check int) "size" 3 (IH.size h);
+  match IH.delete_min h with
+  | Some ((1, "a"), rest) -> (
+    match IH.delete_min rest with
+    | Some ((2, "b"), rest2) ->
+      Alcotest.(check bool) "last is c" true (IH.find_min rest2 = Some (3, "c"))
+    | _ -> Alcotest.fail "expected (2, b) second")
+  | _ -> Alcotest.fail "expected (1, a) first"
+
+let test_heap_merge () =
+  let a = IH.of_list [ (5, 5); (1, 1) ] in
+  let b = IH.of_list [ (3, 3); (0, 0) ] in
+  let m = IH.merge a b in
+  Alcotest.(check int) "merged size" 4 (IH.size m);
+  Alcotest.(check bool) "min of merge" true (IH.find_min m = Some (0, 0))
+
+let test_heap_duplicate_keys () =
+  let h = IH.of_list [ (1, "x"); (1, "y"); (1, "z") ] in
+  let keys = List.map fst (IH.to_sorted_list h) in
+  Alcotest.(check (list int)) "all three kept" [ 1; 1; 1 ] keys
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun l ->
+      let h = IH.of_list (List.map (fun k -> (k, k)) l) in
+      let drained = List.map fst (IH.to_sorted_list h) in
+      drained = List.sort compare l)
+
+let prop_heap_size =
+  QCheck.Test.make ~name:"heap size = list length" ~count:200
+    QCheck.(list small_int)
+    (fun l ->
+      let h = IH.of_list (List.map (fun k -> (k, ())) l) in
+      IH.size h = List.length l)
+
+let prop_heap_merge_is_union =
+  QCheck.Test.make ~name:"merge drains the multiset union" ~count:200
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (a, b) ->
+      let ha = IH.of_list (List.map (fun k -> (k, ())) a) in
+      let hb = IH.of_list (List.map (fun k -> (k, ())) b) in
+      let drained = List.map fst (IH.to_sorted_list (IH.merge ha hb)) in
+      drained = List.sort compare (a @ b))
+
+(* --- Engine --- *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e ~at:30 (fun () -> log := 30 :: !log);
+  Engine.schedule_at e ~at:10 (fun () -> log := 10 :: !log);
+  Engine.schedule_at e ~at:20 (fun () -> log := 20 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule_at e ~at:5 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "ties run in scheduling order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  Engine.schedule_at e ~at:100 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past scheduling rejected" (Invalid_argument "") (fun () ->
+      try Engine.schedule_at e ~at:50 (fun () -> ())
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e ~at:10 (fun () ->
+      log := "a" :: !log;
+      Engine.schedule_after e ~delay:5 (fun () -> log := "b" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested event ran" [ "a"; "b" ] (List.rev !log);
+  Alcotest.(check int) "clock" 15 (Engine.now e)
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.every e ~period:10 (fun () ->
+      incr fired;
+      !fired < 4);
+  Engine.run e;
+  Alcotest.(check int) "fires until told to stop" 4 !fired;
+  Alcotest.(check int) "last firing time" 40 (Engine.now e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter (fun at -> Engine.schedule_at e ~at (fun () -> log := at :: !log)) [ 5; 15; 25 ];
+  Engine.run_until e 15;
+  Alcotest.(check (list int)) "only events <= horizon" [ 5; 15 ] (List.rev !log);
+  Alcotest.(check int) "clock moved to horizon" 15 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check (list int)) "rest runs later" [ 5; 15; 25 ] (List.rev !log)
+
+let test_engine_daemon_events () =
+  let e = Engine.create () in
+  let daemon_fires = ref 0 in
+  let normal_fires = ref 0 in
+  Engine.every e ~daemon:true ~period:10 (fun () ->
+      incr daemon_fires;
+      true);
+  Engine.schedule_at e ~at:35 (fun () -> incr normal_fires);
+  Engine.run e;
+  (* The daemon interleaves while normal work exists, then stops holding
+     the run open. *)
+  Alcotest.(check int) "normal event ran" 1 !normal_fires;
+  Alcotest.(check int) "daemon fired thrice before the horizon" 3 !daemon_fires;
+  Alcotest.(check bool) "engine reports empty" true (Engine.is_empty e)
+
+let test_engine_daemon_only_never_runs () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule_after e ~daemon:true ~delay:5 (fun () -> fired := true);
+  Engine.run e;
+  Alcotest.(check bool) "daemon alone does not hold the run" false !fired;
+  (* ...but run_until still executes it (for direct clock control). *)
+  Engine.run_until e 10;
+  Alcotest.(check bool) "run_until executes daemons" true !fired
+
+let test_engine_limit () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule_at e ~at:i (fun () -> incr count)
+  done;
+  Engine.run ~limit:3 e;
+  Alcotest.(check int) "limited" 3 !count;
+  Alcotest.(check int) "events_processed" 3 (Engine.events_processed e)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 99L and b = Rng.create 99L in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 7L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
+    QCheck.(pair (int_bound 1000) (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let r = Rng.create (Int64.of_int seed) in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_rng_int_in =
+  QCheck.Test.make ~name:"Rng.int_in stays in [lo, hi]" ~count:500
+    QCheck.(triple (int_bound 1000) (int_range (-50) 50) (int_bound 100))
+    (fun (seed, lo, extra) ->
+      let hi = lo + extra in
+      let r = Rng.create (Int64.of_int seed) in
+      let v = Rng.int_in r lo hi in
+      v >= lo && v <= hi)
+
+let prop_rng_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair (int_bound 1000) (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.create (Int64.of_int seed)) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_rng_float_bounds () =
+  let r = Rng.create 5L in
+  for _ = 1 to 100 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+(* --- Time --- *)
+
+let test_time_units () =
+  Alcotest.(check int) "us" 1_000 (Time_ns.us 1);
+  Alcotest.(check int) "ms" 1_000_000 (Time_ns.ms 1);
+  Alcotest.(check int) "s" 1_000_000_000 (Time_ns.s 1);
+  Alcotest.(check (float 1e-9)) "to ms" 1.5 (Time_ns.to_float_ms 1_500_000)
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "999ns" (Time_ns.to_string 999);
+  Alcotest.(check string) "us" "1.50us" (Time_ns.to_string 1_500);
+  Alcotest.(check string) "ms" "2.000ms" (Time_ns.to_string 2_000_000);
+  Alcotest.(check string) "s" "3.000s" (Time_ns.to_string 3_000_000_000)
+
+let suite =
+  [
+    ("heap: empty", `Quick, test_heap_empty);
+    ("heap: basic order", `Quick, test_heap_basic);
+    ("heap: merge", `Quick, test_heap_merge);
+    ("heap: duplicate keys", `Quick, test_heap_duplicate_keys);
+    qtest prop_heap_sorts;
+    qtest prop_heap_size;
+    qtest prop_heap_merge_is_union;
+    ("engine: time order", `Quick, test_engine_order);
+    ("engine: FIFO tie-break", `Quick, test_engine_fifo_ties);
+    ("engine: rejects the past", `Quick, test_engine_past_rejected);
+    ("engine: nested scheduling", `Quick, test_engine_nested_scheduling);
+    ("engine: recurring events", `Quick, test_engine_every);
+    ("engine: run_until horizon", `Quick, test_engine_run_until);
+    ("engine: daemon events interleave", `Quick, test_engine_daemon_events);
+    ("engine: daemons don't hold the run", `Quick, test_engine_daemon_only_never_runs);
+    ("engine: event limit", `Quick, test_engine_limit);
+    ("rng: deterministic", `Quick, test_rng_deterministic);
+    ("rng: seed matters", `Quick, test_rng_seed_matters);
+    ("rng: copy", `Quick, test_rng_copy);
+    ("rng: split", `Quick, test_rng_split_independent);
+    qtest prop_rng_int_bounds;
+    qtest prop_rng_int_in;
+    qtest prop_rng_shuffle_permutes;
+    ("rng: float bounds", `Quick, test_rng_float_bounds);
+    ("time: units", `Quick, test_time_units);
+    ("time: pretty printing", `Quick, test_time_pp);
+  ]
