@@ -1,0 +1,101 @@
+(* Host-side throughput of the memory hot path.
+
+   The Memtxn layer exists to cut the simulator's own cost per simulated
+   word: a per-word access stream pays one effect trap, one Memsys submit,
+   one translation and one interconnect charge for every word, while a
+   batched stream pays them once per transaction (the translation once per
+   page run).  This experiment measures wall-clock words/second on the same
+   Jacobi-style stencil sweep expressed both ways — the simulated traffic
+   is identical; only the trap granularity differs — and records the result
+   in BENCH_hotpath.json. *)
+
+module Api = Platinum_kernel.Api
+module Config = Platinum_machine.Config
+module Runner = Platinum_runner.Runner
+
+(* One stencil sweep: every interior row r is recomputed from rows r-1,
+   r, r+1 of the source buffer into the destination buffer, [iters] times,
+   rows block-partitioned over [nprocs] workers (no barriers: we measure
+   host throughput, not the numeric fixed point). *)
+let sweep ~per_word ~n ~iters ~nprocs () =
+  let words = n * n in
+  let buf_a = Api.alloc ~page_aligned:true words in
+  let buf_b = Api.alloc ~page_aligned:true words in
+  let interior = n - 2 in
+  let lo me = 1 + (me * interior / nprocs) in
+  let hi me = 1 + (((me + 1) * interior / nprocs) - 1) in
+  let worker me =
+    let src = ref buf_a and dst = ref buf_b in
+    for _iter = 1 to iters do
+      for r = lo me to hi me do
+        if per_word then begin
+          for j = 0 to n - 1 do
+            let above = Api.read (!src + ((r - 1) * n) + j) in
+            let here = Api.read (!src + (r * n) + j) in
+            let below = Api.read (!src + ((r + 1) * n) + j) in
+            Api.write (!dst + (r * n) + j) ((above + here + below) / 3)
+          done
+        end
+        else begin
+          let tri = Api.block_read (!src + ((r - 1) * n)) (3 * n) in
+          let fresh =
+            Array.init n (fun j -> (tri.(j) + tri.(n + j) + tri.((2 * n) + j)) / 3)
+          in
+          Api.block_write (!dst + (r * n)) fresh
+        end
+      done;
+      let tmp = !src in
+      src := !dst;
+      dst := tmp
+    done
+  in
+  Api.spawn_join_all
+    ~procs:(List.init nprocs (fun i -> i))
+    (List.init nprocs (fun me _ -> worker me))
+
+(* Data words the sweep moves: 3n read + n written per interior row. *)
+let sweep_words ~n ~iters = iters * (n - 2) * 4 * n
+
+(* Best of [reps] wall-clock runs (a fresh simulator instance each time). *)
+let measure ~per_word ~n ~iters ~nprocs ~reps =
+  let config = Config.butterfly_plus ~nprocs () in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Runner.time ~config (sweep ~per_word ~n ~iters ~nprocs));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let run (scale : Exp_common.scale) =
+  Exp_common.section "throughput: wall-clock words/second of the memory hot path";
+  let n = if scale.Exp_common.full then 96 else 64 in
+  let iters = if scale.Exp_common.full then 8 else 4 in
+  let nprocs = 4 and reps = 3 in
+  let words = sweep_words ~n ~iters in
+  let wall_word = measure ~per_word:true ~n ~iters ~nprocs ~reps in
+  let wall_txn = measure ~per_word:false ~n ~iters ~nprocs ~reps in
+  let rate w = float_of_int words /. w in
+  let speedup = rate wall_txn /. rate wall_word in
+  Printf.printf "  %d x %d grid, %d iterations, %d procs, %d data words\n" n n iters nprocs
+    words;
+  Printf.printf "  per-word stream: %.3f s wall  (%.0f words/s)\n" wall_word (rate wall_word);
+  Printf.printf "  batched stream:  %.3f s wall  (%.0f words/s)\n" wall_txn (rate wall_txn);
+  Printf.printf "  batched / per-word throughput: %.1fx\n" speedup;
+  Exp_common.check_shape "batched stream moves >= 2x words/sec" (speedup >= 2.0);
+  let oc = open_out "BENCH_hotpath.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"hotpath\",\n\
+    \  \"grid\": %d,\n\
+    \  \"iters\": %d,\n\
+    \  \"nprocs\": %d,\n\
+    \  \"data_words\": %d,\n\
+    \  \"per_word\": { \"wall_s\": %.6f, \"words_per_sec\": %.0f },\n\
+    \  \"batched\": { \"wall_s\": %.6f, \"words_per_sec\": %.0f },\n\
+    \  \"throughput_ratio\": %.2f\n\
+     }\n"
+    n iters nprocs words wall_word (rate wall_word) wall_txn (rate wall_txn) speedup;
+  close_out oc;
+  Printf.printf "  wrote BENCH_hotpath.json\n%!"

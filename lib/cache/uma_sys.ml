@@ -2,6 +2,7 @@ module Machine = Platinum_machine.Machine
 module Cache = Platinum_machine.Cache
 module Memmodule = Platinum_machine.Memmodule
 module Memsys = Platinum_kernel.Memsys
+module Memtxn = Platinum_core.Memtxn
 
 type params = {
   cache_words : int;
@@ -103,52 +104,57 @@ let zone_alloc t ~zone ~words ~page_aligned =
 (* The UMA machine has one flat physical space: all "address spaces" share
    it (a threads-in-one-process model), and segments are just ranges. *)
 let memsys t =
-  let read ~now ~proc ~aspace:_ ~vaddr =
-    let lat = read_latency t ~now ~proc ~vaddr in
-    (load_word t vaddr, lat)
-  in
-  let write ~now ~proc ~aspace:_ ~vaddr v =
-    let lat = write_latency t ~now ~proc ~vaddr in
-    store_word t vaddr v;
-    lat
-  in
-  let rmw ~now ~proc ~aspace:_ ~vaddr f =
-    (* A locked bus transaction: read + write held together. *)
-    let l1 = read_latency t ~now ~proc ~vaddr in
-    let l2 = write_latency t ~now:(now + l1) ~proc ~vaddr in
-    let old = load_word t vaddr in
-    store_word t vaddr (f old);
-    snoop_invalidate t ~except:proc ~addr:vaddr;
-    (old, l1 + l2)
-  in
-  let block_read ~now ~proc ~aspace:_ ~vaddr ~len =
-    let out = Array.make (max len 0) 0 in
-    let lat = ref 0 in
-    for i = 0 to len - 1 do
-      let l = read_latency t ~now:(now + !lat) ~proc ~vaddr:(vaddr + i) in
-      out.(i) <- load_word t (vaddr + i);
-      lat := !lat + l
-    done;
-    (out, !lat)
-  in
-  let block_write ~now ~proc ~aspace:_ ~vaddr data =
-    let lat = ref 0 in
-    Array.iteri
-      (fun i v ->
-        let l = write_latency t ~now:(now + !lat) ~proc ~vaddr:(vaddr + i) in
-        store_word t (vaddr + i) v;
-        lat := !lat + l)
-      data;
-    !lat
+  (* The UMA machine has no block-transfer hardware: every transaction is
+     a stream of word-sized bus operations, so block and strided chunks
+     loop per word.  Memtxn.run threads the accumulated latency through
+     chunk boundaries, making this bit-identical to the old per-word
+     closures. *)
+  let submit ~now ~proc ~aspace:_ txn =
+    let chunk_cost ~now ~data (c : Memtxn.chunk) =
+      let vaddr = c.Memtxn.c_vaddr in
+      match txn with
+      | Memtxn.Read _ ->
+        let lat = read_latency t ~now ~proc ~vaddr in
+        data.(0) <- load_word t vaddr;
+        lat
+      | Memtxn.Write _ ->
+        let lat = write_latency t ~now ~proc ~vaddr in
+        store_word t vaddr data.(0);
+        lat
+      | Memtxn.Rmw { f; _ } ->
+        (* A locked bus transaction: read + write held together. *)
+        let l1 = read_latency t ~now ~proc ~vaddr in
+        let l2 = write_latency t ~now:(now + l1) ~proc ~vaddr in
+        let old = load_word t vaddr in
+        store_word t vaddr (f old);
+        snoop_invalidate t ~except:proc ~addr:vaddr;
+        data.(0) <- old;
+        l1 + l2
+      | Memtxn.Block_read _ | Memtxn.Stride_read _ ->
+        let lat = ref 0 in
+        for i = 0 to c.Memtxn.c_words - 1 do
+          let va = vaddr + i in
+          let l = read_latency t ~now:(now + !lat) ~proc ~vaddr:va in
+          data.(c.Memtxn.c_index + i) <- load_word t va;
+          lat := !lat + l
+        done;
+        !lat
+      | Memtxn.Block_write _ | Memtxn.Stride_write _ ->
+        let lat = ref 0 in
+        for i = 0 to c.Memtxn.c_words - 1 do
+          let va = vaddr + i in
+          let l = write_latency t ~now:(now + !lat) ~proc ~vaddr:va in
+          store_word t va data.(c.Memtxn.c_index + i);
+          lat := !lat + l
+        done;
+        !lat
+    in
+    Memtxn.run ~page_words:t.page_words ~now txn ~chunk_cost
   in
   let aspace_count = ref 1 in
   {
     Memsys.page_words = t.page_words;
-    read;
-    write;
-    rmw;
-    block_read;
-    block_write;
+    submit;
     new_aspace =
       (fun () ->
         let id = !aspace_count in

@@ -245,10 +245,6 @@ let translate t ~now ~proc ~cmap:cm ~vpage ~write =
       let entry, lat = Fault.handle (fault_ctx t) ~now:(now + act) ~proc ~cmap:cm ~vpage ~write in
       (entry, act + lat))
 
-let split_vaddr t vaddr =
-  let pw = page_words t in
-  (vaddr / pw, vaddr mod pw)
-
 (* §7: "Almost all data is cachable.  Only modified Cpages that are mapped
    by remote processors cannot be cached." *)
 let cachable t (page : Cpage.t) =
@@ -273,27 +269,6 @@ let try_cache_read t ~proc ~vaddr page =
     else if Platinum_machine.Cache.lookup c ~addr:vaddr then `Hit
     else `Miss c
 
-let read_word t ~now ~proc ~cmap:cm ~vaddr =
-  let vpage, off = split_vaddr t vaddr in
-  let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
-  let frame = entry.Pmap.frame in
-  let page =
-    match Cmap.find cm ~vpage with
-    | Some ce -> ce.Cmap.cpage
-    | None -> assert false (* translate just succeeded *)
-  in
-  match try_cache_read t ~proc ~vaddr page with
-  | `Hit -> (Frame.get frame off, l1 + (config t).Config.t_cache_hit)
-  | (`Miss _ | `No_cache) as m ->
-    let l2 =
-      Xbar.word_access (config t) (Machine.modules t.machine) ~now:(now + l1) ~proc
-        ~mem_module:(Frame.mem_module frame) Xbar.Read
-    in
-    (match m with
-    | `Miss c -> Platinum_machine.Cache.fill c ~addr:vaddr
-    | `No_cache -> ());
-    (Frame.get frame off, l1 + l2)
-
 (* Writes are write-through; other processors' cached copies of the word
    are invalidated in software (there is no snooping hardware, §7). *)
 let after_write t ~proc ~vaddr page =
@@ -304,82 +279,127 @@ let after_write t ~proc ~vaddr page =
     | Some _ | None -> ()
   end
 
-let write_word t ~now ~proc ~cmap:cm ~vaddr v =
-  let vpage, off = split_vaddr t vaddr in
-  let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
-  let frame = entry.Pmap.frame in
-  let l2 =
-    Xbar.word_access (config t) (Machine.modules t.machine) ~now:(now + l1) ~proc
-      ~mem_module:(Frame.mem_module frame) Xbar.Write
-  in
-  Frame.set frame off v;
-  (match Cmap.find cm ~vpage with
-  | Some ce -> after_write t ~proc ~vaddr ce.Cmap.cpage
-  | None -> ());
-  l1 + l2
+(* The one access path.  Memtxn.run drives the per-page chunk loop and the
+   latency accumulation; this chunk_cost supplies the PLATINUM semantics
+   per transaction kind:
 
-let rmw_word t ~now ~proc ~cmap:cm ~vaddr f =
-  let vpage, off = split_vaddr t vaddr in
-  let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
-  let frame = entry.Pmap.frame in
-  let l2 =
-    Xbar.word_access (config t) (Machine.modules t.machine) ~now:(now + l1) ~proc
-      ~mem_module:(Frame.mem_module frame) Xbar.Rmw
-  in
-  let old = Frame.get frame off in
-  Frame.set frame off (f old);
-  (match Cmap.find cm ~vpage with
-  | Some ce -> after_write t ~proc ~vaddr ce.Cmap.cpage
-  | None -> ());
-  (old, l1 + l2)
+   - word reads consult the per-processor cache (hit: [t_cache_hit], no
+     interconnect traffic; miss: word access + fill when cachable);
+   - word writes and rmw are write-through and invalidate other caches;
+   - block and strided transfers bypass the word caches entirely (they are
+     hardware block transfers, §7) but still make cached copies of the
+     touched range stale.
 
-let block_loop t ~now ~proc ~cmap:cm ~vaddr ~len ~write ~kind ~per_chunk =
-  if len < 0 then invalid_arg "Coherent.block op: negative length";
+   Each chunk translates through {!translate} at the time it begins, so a
+   fault raised mid-transaction is charged exactly as the unbatched
+   per-word stream would charge it. *)
+let submit t ~now ~proc ~cmap:cm txn =
+  let cfg = config t in
+  let modules = Machine.modules t.machine in
   let pw = page_words t in
-  let lat = ref 0 in
-  let pos = ref 0 in
-  while !pos < len do
-    let va = vaddr + !pos in
-    let vpage = va / pw and off = va mod pw in
-    let chunk = min (pw - off) (len - !pos) in
-    let entry, l1 = translate t ~now:(now + !lat) ~proc ~cmap:cm ~vpage ~write in
-    let frame = entry.Pmap.frame in
-    let l2 =
-      Xbar.block_words (config t) (Machine.modules t.machine) ~now:(now + !lat + l1) ~proc
-        ~mem_module:(Frame.mem_module frame) kind ~words:chunk
-    in
-    per_chunk ~frame ~off ~pos:!pos ~chunk;
-    lat := !lat + l1 + l2;
-    pos := !pos + chunk
-  done;
-  !lat
+  let chunk_cost ~now ~data (c : Memtxn.chunk) =
+    let vaddr = c.Memtxn.c_vaddr in
+    let vpage = vaddr / pw and off = vaddr mod pw in
+    match txn with
+    | Memtxn.Read _ ->
+      let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
+      let frame = entry.Pmap.frame in
+      let page =
+        match Cmap.find cm ~vpage with
+        | Some ce -> ce.Cmap.cpage
+        | None -> assert false (* translate just succeeded *)
+      in
+      (match try_cache_read t ~proc ~vaddr page with
+      | `Hit ->
+        data.(0) <- Frame.get frame off;
+        l1 + cfg.Config.t_cache_hit
+      | (`Miss _ | `No_cache) as m ->
+        let l2 =
+          Xbar.word_access cfg modules ~now:(now + l1) ~proc
+            ~mem_module:(Frame.mem_module frame) Xbar.Read
+        in
+        (match m with
+        | `Miss c -> Platinum_machine.Cache.fill c ~addr:vaddr
+        | `No_cache -> ());
+        data.(0) <- Frame.get frame off;
+        l1 + l2)
+    | Memtxn.Write _ ->
+      let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+      let frame = entry.Pmap.frame in
+      let l2 =
+        Xbar.word_access cfg modules ~now:(now + l1) ~proc
+          ~mem_module:(Frame.mem_module frame) Xbar.Write
+      in
+      Frame.set frame off data.(0);
+      (match Cmap.find cm ~vpage with
+      | Some ce -> after_write t ~proc ~vaddr ce.Cmap.cpage
+      | None -> ());
+      l1 + l2
+    | Memtxn.Rmw { f; _ } ->
+      let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+      let frame = entry.Pmap.frame in
+      let l2 =
+        Xbar.word_access cfg modules ~now:(now + l1) ~proc
+          ~mem_module:(Frame.mem_module frame) Xbar.Rmw
+      in
+      let old = Frame.get frame off in
+      Frame.set frame off (f old);
+      data.(0) <- old;
+      (match Cmap.find cm ~vpage with
+      | Some ce -> after_write t ~proc ~vaddr ce.Cmap.cpage
+      | None -> ());
+      l1 + l2
+    | Memtxn.Block_read _ | Memtxn.Stride_read _ ->
+      let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
+      let frame = entry.Pmap.frame in
+      let l2 =
+        Xbar.access cfg modules ~now:(now + l1) ~proc
+          ~mem_module:(Frame.mem_module frame) Xbar.Read ~words:c.Memtxn.c_words
+      in
+      for i = 0 to c.Memtxn.c_words - 1 do
+        data.(c.Memtxn.c_index + i) <- Frame.get frame (off + i)
+      done;
+      l1 + l2
+    | Memtxn.Block_write _ | Memtxn.Stride_write _ ->
+      let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+      let frame = entry.Pmap.frame in
+      let l2 =
+        Xbar.access cfg modules ~now:(now + l1) ~proc
+          ~mem_module:(Frame.mem_module frame) Xbar.Write ~words:c.Memtxn.c_words
+      in
+      for i = 0 to c.Memtxn.c_words - 1 do
+        Frame.set frame (off + i) data.(c.Memtxn.c_index + i)
+      done;
+      (* Block writes bypass the caches but still make cached copies of
+         the run stale. *)
+      if Machine.caches_enabled t.machine then
+        Machine.invalidate_cached_range_all t.machine ~addr:vaddr ~words:c.Memtxn.c_words;
+      l1 + l2
+  in
+  Memtxn.run ~page_words:pw ~now txn ~chunk_cost
 
-let block_read t ~now ~proc ~cmap:cm ~vaddr ~len =
-  let out = Array.make (max len 0) 0 in
-  let per_chunk ~frame ~off ~pos ~chunk =
-    for i = 0 to chunk - 1 do
-      out.(pos + i) <- Frame.get frame (off + i)
-    done
-  in
-  let lat =
-    block_loop t ~now ~proc ~cmap:cm ~vaddr ~len ~write:false ~kind:Xbar.Read ~per_chunk
-  in
-  (out, lat)
+(* Single-op conveniences, kept for tests and callers that move one word. *)
 
-let block_write t ~now ~proc ~cmap:cm ~vaddr data =
-  let per_chunk ~frame ~off ~pos ~chunk =
-    for i = 0 to chunk - 1 do
-      Frame.set frame (off + i) data.(pos + i)
-    done
-  in
-  let lat =
-    block_loop t ~now ~proc ~cmap:cm ~vaddr ~len:(Array.length data) ~write:true ~kind:Xbar.Write
-      ~per_chunk
-  in
-  (* Block writes bypass the caches but still make cached copies stale. *)
-  if Machine.caches_enabled t.machine then
-    Machine.invalidate_cached_range_all t.machine ~addr:vaddr ~words:(Array.length data);
-  lat
+let read_word t ~now ~proc ~cmap ~vaddr =
+  match submit t ~now ~proc ~cmap (Memtxn.Read { vaddr }) with
+  | Memtxn.Word v, lat -> (v, lat)
+  | _ -> assert false
+
+let write_word t ~now ~proc ~cmap ~vaddr v =
+  snd (submit t ~now ~proc ~cmap (Memtxn.Write { vaddr; value = v }))
+
+let rmw_word t ~now ~proc ~cmap ~vaddr f =
+  match submit t ~now ~proc ~cmap (Memtxn.Rmw { vaddr; f }) with
+  | Memtxn.Word old, lat -> (old, lat)
+  | _ -> assert false
+
+let block_read t ~now ~proc ~cmap ~vaddr ~len =
+  match submit t ~now ~proc ~cmap (Memtxn.Block_read { vaddr; len }) with
+  | Memtxn.Words out, lat -> (out, lat)
+  | _ -> assert false
+
+let block_write t ~now ~proc ~cmap ~vaddr data =
+  snd (submit t ~now ~proc ~cmap (Memtxn.Block_write { vaddr; data }))
 
 let set_probe t probe = t.probe <- probe
 let set_freeze_hook t hook = t.freeze_hook <- hook

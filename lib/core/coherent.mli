@@ -59,9 +59,24 @@ val translate :
     {!Fault} handler runs.  Raises {!Fault.Unmapped} when the VM layer must
     intervene. *)
 
+val submit :
+  t ->
+  now:Platinum_sim.Time_ns.t ->
+  proc:int ->
+  cmap:Cmap.t ->
+  Memtxn.t ->
+  Memtxn.result * int
+(** Run one memory transaction against the coherent memory: the single
+    access path every word, block and strided operation flows through.
+    {!Memtxn.run} splits the transaction into per-page chunks; each chunk
+    translates (faulting if needed) at the simulated time it begins and is
+    charged on the interconnect, so batching never changes simulated cost.
+    Word reads use the per-processor caches; block and strided transfers
+    bypass them (§7). *)
+
 val read_word :
   t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int -> int * int
-(** [(value, latency)]. *)
+(** [(value, latency)].  Equivalent to {!submit} of a one-word [Read]. *)
 
 val write_word :
   t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int -> int -> int

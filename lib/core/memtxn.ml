@@ -1,0 +1,120 @@
+type t =
+  | Read of { vaddr : int }
+  | Write of { vaddr : int; value : int }
+  | Rmw of { vaddr : int; f : int -> int }
+  | Block_read of { vaddr : int; len : int }
+  | Block_write of { vaddr : int; data : int array }
+  | Stride_read of { vaddr : int; count : int; elem_words : int; stride : int }
+  | Stride_write of { vaddr : int; data : int array; count : int; elem_words : int; stride : int }
+
+type result =
+  | Unit
+  | Word of int
+  | Words of int array
+
+type kind =
+  | Load
+  | Store
+  | Update
+
+let kind = function
+  | Read _ | Block_read _ | Stride_read _ -> Load
+  | Write _ | Block_write _ | Stride_write _ -> Store
+  | Rmw _ -> Update
+
+let is_write txn = kind txn <> Load
+
+let data_words = function
+  | Read _ | Write _ | Rmw _ -> 1
+  | Block_read { len; _ } -> max len 0
+  | Block_write { data; _ } -> Array.length data
+  | Stride_read { count; elem_words; _ } -> max (count * elem_words) 0
+  | Stride_write { data; _ } -> Array.length data
+
+let validate_stride ~what ~count ~elem_words ~stride =
+  if count < 0 then invalid_arg (what ^ ": negative element count");
+  if elem_words < 1 then invalid_arg (what ^ ": elements must be at least one word");
+  if stride < elem_words then invalid_arg (what ^ ": stride overlaps elements")
+
+let validate = function
+  | Read _ | Write _ | Rmw _ -> ()
+  | Block_read { len; _ } -> if len < 0 then invalid_arg "Memtxn: negative length"
+  | Block_write _ -> ()
+  | Stride_read { count; elem_words; stride; _ } ->
+    validate_stride ~what:"Memtxn.Stride_read" ~count ~elem_words ~stride
+  | Stride_write { data; count; elem_words; stride; _ } ->
+    validate_stride ~what:"Memtxn.Stride_write" ~count ~elem_words ~stride;
+    if Array.length data <> count * elem_words then
+      invalid_arg "Memtxn.Stride_write: data length is not count * elem_words"
+
+type chunk = {
+  c_vaddr : int;
+  c_index : int;
+  c_words : int;
+}
+
+(* Split the contiguous run [vaddr, vaddr + words) at page boundaries. *)
+let iter_run ~page_words ~vaddr ~index ~words f =
+  let pos = ref 0 in
+  while !pos < words do
+    let va = vaddr + !pos in
+    let off = va mod page_words in
+    let len = min (page_words - off) (words - !pos) in
+    f { c_vaddr = va; c_index = index + !pos; c_words = len };
+    pos := !pos + len
+  done
+
+let iter_chunks ~page_words txn f =
+  match txn with
+  | Read { vaddr } | Write { vaddr; _ } | Rmw { vaddr; _ } ->
+    f { c_vaddr = vaddr; c_index = 0; c_words = 1 }
+  | Block_read { vaddr; len } -> iter_run ~page_words ~vaddr ~index:0 ~words:(max len 0) f
+  | Block_write { vaddr; data } ->
+    iter_run ~page_words ~vaddr ~index:0 ~words:(Array.length data) f
+  | Stride_read { vaddr; count; elem_words; stride }
+  | Stride_write { vaddr; count; elem_words; stride; _ } ->
+    for k = 0 to count - 1 do
+      iter_run ~page_words ~vaddr:(vaddr + (k * stride)) ~index:(k * elem_words)
+        ~words:elem_words f
+    done
+
+let iter_pages ~page_words txn f =
+  let last = ref min_int in
+  iter_chunks ~page_words txn (fun c ->
+      let vpage = c.c_vaddr / page_words in
+      if vpage <> !last then begin
+        last := vpage;
+        f vpage
+      end)
+
+let run ~page_words ~now txn ~chunk_cost =
+  validate txn;
+  let data =
+    match txn with
+    | Read _ | Rmw _ -> [| 0 |]
+    | Write { value; _ } -> [| value |]
+    | Block_read _ | Stride_read _ -> Array.make (data_words txn) 0
+    | Block_write { data; _ } | Stride_write { data; _ } -> data
+  in
+  let lat = ref 0 in
+  iter_chunks ~page_words txn (fun chunk ->
+      lat := !lat + chunk_cost ~now:(now + !lat) ~data chunk);
+  let result =
+    match txn with
+    | Write _ | Block_write _ | Stride_write _ -> Unit
+    | Read _ | Rmw _ -> Word data.(0)
+    | Block_read _ | Stride_read _ -> Words data
+  in
+  (result, !lat)
+
+let pp fmt = function
+  | Read { vaddr } -> Format.fprintf fmt "read @%d" vaddr
+  | Write { vaddr; value } -> Format.fprintf fmt "write @%d <- %d" vaddr value
+  | Rmw { vaddr; _ } -> Format.fprintf fmt "rmw @%d" vaddr
+  | Block_read { vaddr; len } -> Format.fprintf fmt "block-read @%d x%d" vaddr len
+  | Block_write { vaddr; data } ->
+    Format.fprintf fmt "block-write @%d x%d" vaddr (Array.length data)
+  | Stride_read { vaddr; count; elem_words; stride } ->
+    Format.fprintf fmt "stride-read @%d %dx%d step %d" vaddr count elem_words stride
+  | Stride_write { vaddr; count; elem_words; stride; _ } ->
+    Format.fprintf fmt "stride-write @%d %dx%d step %d" vaddr count elem_words stride

@@ -1,0 +1,88 @@
+(** Batched memory transactions: the one descriptor every access path of
+    the simulator flows through.
+
+    Application threads used to trap into the kernel once per word; every
+    backend (the PLATINUM coherent memory, the bus-based UMA machine)
+    duplicated the loop that walks an access, threads simulated time
+    through it, and accumulates latency.  A {!t} describes a whole access
+    — one word, a read-modify-write, a contiguous block, or a strided
+    scatter/gather — and {!run} is the single cost-accounting routine both
+    backends share.
+
+    {b The batching invariant}: a transaction's simulated cost is the sum
+    of its per-chunk costs, each charged at [now +] the latency accumulated
+    so far — exactly what issuing the runs back-to-back unbatched would
+    charge.  Grouping words into one transaction changes how much host
+    work the simulator does per simulated word, never the simulated time. *)
+
+type t =
+  | Read of { vaddr : int }  (** one 32-bit word *)
+  | Write of { vaddr : int; value : int }
+  | Rmw of { vaddr : int; f : int -> int }
+      (** atomic read-modify-write; the result carries the old value *)
+  | Block_read of { vaddr : int; len : int }
+      (** [len] consecutive words (a hardware block transfer: bypasses the
+          per-processor word caches) *)
+  | Block_write of { vaddr : int; data : int array }
+  | Stride_read of { vaddr : int; count : int; elem_words : int; stride : int }
+      (** [count] elements of [elem_words] consecutive words each, the
+          k-th starting at [vaddr + k*stride]; charged like a block
+          transfer over each contiguous run *)
+  | Stride_write of { vaddr : int; data : int array; count : int; elem_words : int; stride : int }
+      (** element [k] is [data.(k*elem_words .. (k+1)*elem_words - 1)] *)
+
+type result =
+  | Unit
+  | Word of int  (** [Read]: the value; [Rmw]: the old value *)
+  | Words of int array  (** [Block_read] / [Stride_read] *)
+
+type kind =
+  | Load
+  | Store
+  | Update
+
+val kind : t -> kind
+val is_write : t -> bool
+(** Whether the transaction needs a write translation ([Store] or [Update]). *)
+
+val data_words : t -> int
+(** Words of application data the transaction moves. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on malformed shapes: negative lengths,
+    [elem_words < 1], overlapping stride elements ([stride < elem_words]),
+    or a strided write whose [data] length is not [count * elem_words]. *)
+
+(** A maximal run of consecutive words that stays inside one page — the
+    unit a backend translates and charges as a whole.  Generalizes the old
+    [Coherent.block_loop] chunking to strided transactions. *)
+type chunk = {
+  c_vaddr : int;  (** first word address of the run *)
+  c_index : int;  (** position of the run in the transaction's data array *)
+  c_words : int;  (** length of the run *)
+}
+
+val iter_chunks : page_words:int -> t -> (chunk -> unit) -> unit
+(** Chunks are visited in ascending address order (ascending element order
+    for strided transactions); single-word transactions yield one chunk. *)
+
+val iter_pages : page_words:int -> t -> (int -> unit) -> unit
+(** The virtual pages the transaction touches, in chunk order, consecutive
+    duplicates elided — what a VM layer must ensure is bound before the
+    coherent layer runs. *)
+
+val run :
+  page_words:int ->
+  now:int ->
+  t ->
+  chunk_cost:(now:int -> data:int array -> chunk -> int) ->
+  result * int
+(** The shared cost-accounting loop.  Validates the transaction, allocates
+    the result buffer, and calls [chunk_cost] once per chunk with the time
+    at which that chunk begins ([now] plus the latency of every earlier
+    chunk); [chunk_cost] performs the data movement against [data] (reads
+    fill [data.(c_index ..)], writes consume it, an [Rmw] leaves the old
+    value in [data.(0)]) and returns the chunk's latency.  Returns the
+    assembled result and the total latency. *)
+
+val pp : Format.formatter -> t -> unit

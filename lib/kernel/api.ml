@@ -1,10 +1,31 @@
-let read vaddr = Effect.perform (Eff.Read vaddr)
-let write vaddr v = Effect.perform (Eff.Write (vaddr, v))
-let rmw vaddr f = Effect.perform (Eff.Rmw (vaddr, f))
-let block_read vaddr len = Effect.perform (Eff.Block_read (vaddr, len))
-let block_write vaddr data = Effect.perform (Eff.Block_write (vaddr, data))
+module Memtxn = Platinum_core.Memtxn
+
+let access txn = Effect.perform (Eff.Access_txn txn)
+
+let word txn =
+  match access txn with
+  | Memtxn.Word v -> v
+  | _ -> assert false
+
+let words txn =
+  match access txn with
+  | Memtxn.Words a -> a
+  | _ -> assert false
+
+let read vaddr = word (Memtxn.Read { vaddr })
+let write vaddr value = ignore (access (Memtxn.Write { vaddr; value }))
+let rmw vaddr f = word (Memtxn.Rmw { vaddr; f })
+let block_read vaddr len = words (Memtxn.Block_read { vaddr; len })
+let block_write vaddr data = ignore (access (Memtxn.Block_write { vaddr; data }))
 let read_array = block_read
 let write_array = block_write
+
+let read_stride ?(elem_words = 1) vaddr ~count ~stride =
+  words (Memtxn.Stride_read { vaddr; count; elem_words; stride })
+
+let write_stride ?(elem_words = 1) vaddr ~stride data =
+  let count = Array.length data / max elem_words 1 in
+  ignore (access (Memtxn.Stride_write { vaddr; data; count; elem_words; stride }))
 let compute ns = if ns > 0 then Effect.perform (Eff.Compute ns)
 let now () = Effect.perform Eff.Now
 let spawn ?proc ?aspace body = Effect.perform (Eff.Spawn (body, proc, aspace))

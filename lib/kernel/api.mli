@@ -26,6 +26,21 @@ val read_array : int -> int -> int array
 
 val write_array : int -> int array -> unit
 
+val read_stride : ?elem_words:int -> int -> count:int -> stride:int -> int array
+(** [read_stride vaddr ~count ~stride] gathers [count] elements of
+    [elem_words] consecutive words each (default 1), the k-th starting at
+    [vaddr + k*stride], in one kernel trap.  Simulated cost is identical
+    to the equivalent per-element block reads. *)
+
+val write_stride : ?elem_words:int -> int -> stride:int -> int array -> unit
+(** [write_stride vaddr ~stride data] scatters [data] as elements of
+    [elem_words] consecutive words (default 1) placed [stride] words
+    apart; [data] length must be a multiple of [elem_words]. *)
+
+val access : Platinum_core.Memtxn.t -> Platinum_core.Memtxn.result
+(** Perform an arbitrary memory transaction — the primitive the wrappers
+    above are built on. *)
+
 (* --- time --- *)
 
 val compute : int -> unit

@@ -3,11 +3,7 @@ type port_id = int
 type zone_id = int
 
 type _ Effect.t +=
-  | Read : int -> int Effect.t
-  | Write : int * int -> unit Effect.t
-  | Rmw : int * (int -> int) -> int Effect.t
-  | Block_read : int * int -> int array Effect.t
-  | Block_write : int * int array -> unit Effect.t
+  | Access_txn : Platinum_core.Memtxn.t -> Platinum_core.Memtxn.result Effect.t
   | Compute : int -> unit Effect.t
   | Yield : unit Effect.t
   | Spawn : (unit -> unit) * int option * int option -> thread_id Effect.t

@@ -12,12 +12,12 @@ type port_id = int
 type zone_id = int
 
 type _ Effect.t +=
-  | Read : int -> int Effect.t  (** read a word at a virtual address *)
-  | Write : int * int -> unit Effect.t
-  | Rmw : int * (int -> int) -> int Effect.t
-      (** atomic read-modify-write; returns the old value *)
-  | Block_read : int * int -> int array Effect.t  (** (vaddr, len) *)
-  | Block_write : int * int array -> unit Effect.t
+  | Access_txn : Platinum_core.Memtxn.t -> Platinum_core.Memtxn.result Effect.t
+      (** one memory transaction — a word read/write, an atomic
+          read-modify-write, a contiguous block, or a strided
+          scatter/gather.  One kernel trap per transaction: batching is
+          the hot-path optimization, and the backend guarantees the
+          simulated cost equals the unbatched word-by-word stream *)
   | Compute : int -> unit Effect.t  (** spend n ns of local computation *)
   | Yield : unit Effect.t
   | Spawn : (unit -> unit) * int option * int option -> thread_id Effect.t

@@ -193,38 +193,13 @@ and start_fiber t th =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Eff.Read vaddr ->
+          | Eff.Access_txn txn ->
+            (* The whole memory hot path: one trap, one backend submit. *)
             Some
               (fun (k : (a, _) continuation) ->
                 run_op t th k (fun () ->
-                    t.memsys.Memsys.read ~now:(Engine.now t.engine) ~proc:th.proc
-                      ~aspace:th.aspace ~vaddr))
-          | Eff.Write (vaddr, v) ->
-            Some
-              (fun k ->
-                run_op t th k (fun () ->
-                    ( (),
-                      t.memsys.Memsys.write ~now:(Engine.now t.engine) ~proc:th.proc
-                        ~aspace:th.aspace ~vaddr v )))
-          | Eff.Rmw (vaddr, f) ->
-            Some
-              (fun k ->
-                run_op t th k (fun () ->
-                    t.memsys.Memsys.rmw ~now:(Engine.now t.engine) ~proc:th.proc
-                      ~aspace:th.aspace ~vaddr f))
-          | Eff.Block_read (vaddr, len) ->
-            Some
-              (fun k ->
-                run_op t th k (fun () ->
-                    t.memsys.Memsys.block_read ~now:(Engine.now t.engine) ~proc:th.proc
-                      ~aspace:th.aspace ~vaddr ~len))
-          | Eff.Block_write (vaddr, data) ->
-            Some
-              (fun k ->
-                run_op t th k (fun () ->
-                    ( (),
-                      t.memsys.Memsys.block_write ~now:(Engine.now t.engine) ~proc:th.proc
-                        ~aspace:th.aspace ~vaddr data )))
+                    t.memsys.Memsys.submit ~now:(Engine.now t.engine) ~proc:th.proc
+                      ~aspace:th.aspace txn))
           | Eff.Compute ns -> Some (fun k -> complete t th k () (max ns 0))
           | Eff.Yield ->
             Some

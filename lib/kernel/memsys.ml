@@ -5,11 +5,8 @@ type advice =
 
 type t = {
   page_words : int;
-  read : now:int -> proc:int -> aspace:int -> vaddr:int -> int * int;
-  write : now:int -> proc:int -> aspace:int -> vaddr:int -> int -> int;
-  rmw : now:int -> proc:int -> aspace:int -> vaddr:int -> (int -> int) -> int * int;
-  block_read : now:int -> proc:int -> aspace:int -> vaddr:int -> len:int -> int array * int;
-  block_write : now:int -> proc:int -> aspace:int -> vaddr:int -> int array -> int;
+  submit : now:int -> proc:int -> aspace:int -> Platinum_core.Memtxn.t ->
+    Platinum_core.Memtxn.result * int;
   new_aspace : unit -> int;
   new_zone : aspace:int -> name:string -> pages:int -> int;
   alloc : zone:int -> words:int -> page_aligned:bool -> int;
@@ -20,3 +17,26 @@ type t = {
   migrate_cost : now:int -> from_proc:int -> to_proc:int -> int;
   describe : unit -> string;
 }
+
+(* Single-op conveniences over [submit], for tests and simple callers. *)
+
+let read t ~now ~proc ~aspace ~vaddr =
+  match t.submit ~now ~proc ~aspace (Platinum_core.Memtxn.Read { vaddr }) with
+  | Platinum_core.Memtxn.Word v, lat -> (v, lat)
+  | _ -> assert false
+
+let write t ~now ~proc ~aspace ~vaddr value =
+  snd (t.submit ~now ~proc ~aspace (Platinum_core.Memtxn.Write { vaddr; value }))
+
+let rmw t ~now ~proc ~aspace ~vaddr f =
+  match t.submit ~now ~proc ~aspace (Platinum_core.Memtxn.Rmw { vaddr; f }) with
+  | Platinum_core.Memtxn.Word old, lat -> (old, lat)
+  | _ -> assert false
+
+let block_read t ~now ~proc ~aspace ~vaddr ~len =
+  match t.submit ~now ~proc ~aspace (Platinum_core.Memtxn.Block_read { vaddr; len }) with
+  | Platinum_core.Memtxn.Words out, lat -> (out, lat)
+  | _ -> assert false
+
+let block_write t ~now ~proc ~aspace ~vaddr data =
+  snd (t.submit ~now ~proc ~aspace (Platinum_core.Memtxn.Block_write { vaddr; data }))

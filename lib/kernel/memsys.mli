@@ -1,9 +1,13 @@
 (** The memory-system interface the kernel schedules against.
 
-    Application threads issue abstract memory operations; a backend turns
+    Application threads issue abstract memory transactions; a backend turns
     each into (data, latency).  Two backends exist: the PLATINUM coherent
     memory ({!Platsys}) and the bus-based UMA machine with per-processor
     caches used for the Figure 5 comparison ({!Platinum_cache.Uma_sys}).
+    Both implement the one entry point [submit], which accepts any
+    {!Platinum_core.Memtxn.t} — a word read or write, an atomic
+    read-modify-write, a contiguous block, or a strided scatter/gather —
+    and share {!Platinum_core.Memtxn.run} for cost accounting.
 
     Addresses are virtual *word* addresses (the Butterfly's unit of access
     is the 32-bit word). *)
@@ -15,13 +19,11 @@ type advice =
 
 type t = {
   page_words : int;  (** machine page size in 32-bit words *)
-  read : now:int -> proc:int -> aspace:int -> vaddr:int -> int * int;
-      (** (value, latency ns) *)
-  write : now:int -> proc:int -> aspace:int -> vaddr:int -> int -> int;  (** latency *)
-  rmw : now:int -> proc:int -> aspace:int -> vaddr:int -> (int -> int) -> int * int;
-      (** atomic read-modify-write; returns (old value, latency) *)
-  block_read : now:int -> proc:int -> aspace:int -> vaddr:int -> len:int -> int array * int;
-  block_write : now:int -> proc:int -> aspace:int -> vaddr:int -> int array -> int;
+  submit : now:int -> proc:int -> aspace:int -> Platinum_core.Memtxn.t ->
+    Platinum_core.Memtxn.result * int;
+      (** run one memory transaction; returns (result, latency ns).
+          Batching never changes simulated cost: a transaction is charged
+          exactly what its words issued back-to-back would be. *)
   new_aspace : unit -> int;
       (** create an empty address space (with its own default heap zone);
           returns its id.  Id 0 is the initial space. *)
@@ -41,3 +43,17 @@ type t = {
       (** cost of moving a thread's kernel stack (§2.2) *)
   describe : unit -> string;
 }
+
+(** Single-operation conveniences over [submit]. *)
+
+val read : t -> now:int -> proc:int -> aspace:int -> vaddr:int -> int * int
+(** (value, latency ns) *)
+
+val write : t -> now:int -> proc:int -> aspace:int -> vaddr:int -> int -> int
+(** latency *)
+
+val rmw : t -> now:int -> proc:int -> aspace:int -> vaddr:int -> (int -> int) -> int * int
+(** atomic read-modify-write; returns (old value, latency) *)
+
+val block_read : t -> now:int -> proc:int -> aspace:int -> vaddr:int -> len:int -> int array * int
+val block_write : t -> now:int -> proc:int -> aspace:int -> vaddr:int -> int array -> int

@@ -1,4 +1,5 @@
 module Coherent = Platinum_core.Coherent
+module Memtxn = Platinum_core.Memtxn
 module Cmap = Platinum_core.Cmap
 module Rights = Platinum_core.Rights
 module Addr_space = Platinum_vm.Addr_space
@@ -89,48 +90,26 @@ let ensure_bound _t sp ~now ~vpage =
   | Some _ -> 0
   | None -> Addr_space.fault sp.asp ~now ~vpage
 
-let ensure_range t sp ~now ~vaddr ~len =
-  if len <= 0 then 0
-  else begin
-    let pw = Coherent.page_words t.coh in
-    let first = vaddr / pw and last = (vaddr + len - 1) / pw in
-    let lat = ref 0 in
-    for vpage = first to last do
-      lat := !lat + ensure_bound t sp ~now:(now + !lat) ~vpage
-    done;
-    !lat
-  end
+(* Bind every page a transaction touches before the coherent layer runs,
+   each at the time the VM work reaches it.  Memtxn.iter_pages walks pages
+   in chunk order with consecutive duplicates elided, which for a
+   contiguous block is exactly the old first..last page loop. *)
+let ensure_txn t sp ~now txn =
+  let pw = Coherent.page_words t.coh in
+  let lat = ref 0 in
+  Memtxn.iter_pages ~page_words:pw txn (fun vpage ->
+      lat := !lat + ensure_bound t sp ~now:(now + !lat) ~vpage);
+  !lat
 
 let memsys t =
   let coh = t.coh in
   let pw = Coherent.page_words coh in
-  let read ~now ~proc ~aspace ~vaddr =
+  let submit ~now ~proc ~aspace txn =
     let sp = space t aspace in
-    let l0 = ensure_bound t sp ~now ~vpage:(vaddr / pw) in
-    let v, l = Coherent.read_word coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr in
-    (v, l0 + l)
-  in
-  let write ~now ~proc ~aspace ~vaddr v =
-    let sp = space t aspace in
-    let l0 = ensure_bound t sp ~now ~vpage:(vaddr / pw) in
-    l0 + Coherent.write_word coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr v
-  in
-  let rmw ~now ~proc ~aspace ~vaddr f =
-    let sp = space t aspace in
-    let l0 = ensure_bound t sp ~now ~vpage:(vaddr / pw) in
-    let old, l = Coherent.rmw_word coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr f in
-    (old, l0 + l)
-  in
-  let block_read ~now ~proc ~aspace ~vaddr ~len =
-    let sp = space t aspace in
-    let l0 = ensure_range t sp ~now ~vaddr ~len in
-    let data, l = Coherent.block_read coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr ~len in
-    (data, l0 + l)
-  in
-  let block_write ~now ~proc ~aspace ~vaddr data =
-    let sp = space t aspace in
-    let l0 = ensure_range t sp ~now ~vaddr ~len:(Array.length data) in
-    l0 + Coherent.block_write coh ~now:(now + l0) ~proc ~cmap:sp.cm ~vaddr data
+    Memtxn.validate txn;
+    let l0 = ensure_txn t sp ~now txn in
+    let result, l = Coherent.submit coh ~now:(now + l0) ~proc ~cmap:sp.cm txn in
+    (result, l0 + l)
   in
   let advise ~now ~proc ~aspace ~vaddr ~len advice =
     let sp = space t aspace in
@@ -158,11 +137,7 @@ let memsys t =
   in
   {
     Memsys.page_words = pw;
-    read;
-    write;
-    rmw;
-    block_read;
-    block_write;
+    submit;
     new_aspace = (fun () -> new_aspace t);
     new_zone = (fun ~aspace ~name ~pages -> new_zone t ~aspace ~name ~pages);
     alloc =

@@ -14,19 +14,16 @@ let uncontended_word_ns (c : Config.t) kind ~local =
     | Write -> c.t_remote_write_word
     | Rmw -> c.t_remote_read_word + c.t_module_service
 
-(* A single word access: the request traverses the switch (folded into the
-   uncontended constant), queues at the module, is served, and returns.
-   Latency = queueing delay + uncontended time. *)
-let word_access (c : Config.t) modules ~now ~proc ~mem_module kind =
-  let local = proc = mem_module in
-  let m = modules.(mem_module) in
-  let service = if local then c.t_local_word else c.t_module_service in
-  let base = uncontended_word_ns c kind ~local in
-  let start = Memmodule.acquire m ~arrival:now ~service in
-  (start - now) + base
-
-let block_words (c : Config.t) modules ~now ~proc ~mem_module kind ~words =
-  if words < 0 then invalid_arg "Xbar.block_words";
+(* The one interconnect primitive behind every memory transaction chunk:
+   [words] back-to-back accesses from [proc] to one module.  The request
+   traverses the switch (folded into the uncontended constants), queues at
+   the module, is served for the whole run, and returns.
+   Latency = queueing delay + words * uncontended time.  For [words = 1]
+   this is a plain word access; issuing a run as one acquisition is
+   cost-identical to [words] sequential acquisitions, because the module is
+   the serialization point either way. *)
+let access (c : Config.t) modules ~now ~proc ~mem_module kind ~words =
+  if words < 0 then invalid_arg "Xbar.access";
   if words = 0 then 0
   else begin
     let local = proc = mem_module in
@@ -36,6 +33,12 @@ let block_words (c : Config.t) modules ~now ~proc ~mem_module kind ~words =
     let start = Memmodule.acquire m ~arrival:now ~service:(words * per_word_service) in
     (start - now) + base
   end
+
+let word_access c modules ~now ~proc ~mem_module kind =
+  access c modules ~now ~proc ~mem_module kind ~words:1
+
+let block_words c modules ~now ~proc ~mem_module kind ~words =
+  access c modules ~now ~proc ~mem_module kind ~words
 
 let block_copy (c : Config.t) modules ~now ~src ~dst ~words =
   if words < 0 then invalid_arg "Xbar.block_copy";

@@ -16,6 +16,20 @@ type kind =
 val uncontended_word_ns : Config.t -> kind -> local:bool -> int
 (** Latency of a single word access with no queueing. *)
 
+val access :
+  Config.t ->
+  Memmodule.t array ->
+  now:Platinum_sim.Time_ns.t ->
+  proc:int ->
+  mem_module:int ->
+  kind ->
+  words:int ->
+  int
+(** Latency (ns) of [words] back-to-back accesses to one module issued at
+    [now], including queueing at the target.  This is the primitive each
+    {!Platinum_core.Memtxn} chunk is charged with; {!word_access} and
+    {!block_words} are the [words = 1] and n-word special cases. *)
+
 val word_access :
   Config.t ->
   Memmodule.t array ->

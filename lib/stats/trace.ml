@@ -33,17 +33,25 @@ let clear t =
   Queue.clear t.buf;
   t.ndropped <- 0
 
-let filter t pred = List.filter (fun e -> pred e.event) (entries t)
-let count t pred = List.length (filter t pred)
+(* The query paths stream over the ring buffer — a trace at capacity holds
+   10^5 entries, and materializing an intermediate list per query was the
+   stats layer's own hot-path tax. *)
+
+let fold t f init = Queue.fold (fun acc e -> f acc e) init t.buf
+
+let filter t pred =
+  List.rev (fold t (fun acc e -> if pred e.event then e :: acc else acc) [])
+
+let count t pred = fold t (fun n e -> if pred e.event then n + 1 else n) 0
 
 let pp_timeline ?(limit = 50) fmt t =
-  let all = entries t in
-  let n = List.length all in
+  let n = Queue.length t.buf in
   Format.fprintf fmt "@[<v>protocol timeline (%d events%s):@," n
     (if t.ndropped > 0 then Printf.sprintf ", %d dropped" t.ndropped else "");
-  List.iteri
+  Seq.iteri
     (fun i e ->
-      if i < limit then Format.fprintf fmt "  %10s  %a@," (Time_ns.to_string e.at) Probe.pp_event e.event)
-    all;
+      if i < limit then
+        Format.fprintf fmt "  %10s  %a@," (Time_ns.to_string e.at) Probe.pp_event e.event)
+    (Queue.to_seq t.buf);
   if n > limit then Format.fprintf fmt "  ... %d more@," (n - limit);
   Format.fprintf fmt "@]"

@@ -25,6 +25,9 @@ type params = {
   compute_ns_per_connection : int;
   seed : int;
   verify : bool;
+  bulk : bool;
+      (** batch the inner loops into block/strided transactions (default);
+          [false] replays the original per-word access stream *)
 }
 
 val params :
@@ -35,6 +38,7 @@ val params :
   ?compute_ns_per_connection:int ->
   ?seed:int ->
   ?verify:bool ->
+  ?bulk:bool ->
   nprocs:int ->
   unit ->
   params

@@ -7,12 +7,14 @@ type params = {
   compute_ns_per_word : int;
   seed : int;
   verify : bool;
+  bulk : bool;
 }
 
-let params ?(n = 400) ?(compute_ns_per_word = 3_000) ?(seed = 42) ?(verify = true) ~nprocs () =
+let params ?(n = 400) ?(compute_ns_per_word = 3_000) ?(seed = 42) ?(verify = true)
+    ?(bulk = true) ~nprocs () =
   if n < 2 then invalid_arg "Gauss_mp.params: n must be at least 2";
   if nprocs < 1 then invalid_arg "Gauss_mp.params: nprocs must be positive";
-  { n; nprocs; compute_ns_per_word; seed; verify }
+  { n; nprocs; compute_ns_per_word; seed; verify; bulk }
 
 let to_gauss p =
   {
@@ -35,12 +37,31 @@ let make p =
     let barrier = Sync.Barrier.make ~zone:szone ~parties:nprocs () in
     let inboxes = Array.init nprocs (fun _ -> Api.new_port ()) in
     let worker me =
-      let r = ref me in
-      while !r < n do
-        Api.block_write rows.(!r)
-          (Array.init n (fun j -> Gauss.init_elem gp !r j land Gauss.value_mask));
-        r := !r + nprocs
-      done;
+      (* First touch of this worker's rows.  The page-aligned row buffers
+         usually sit a constant distance apart, so bulk mode scatters all
+         of them in one strided transaction (elements of n words, one per
+         row); non-uniform spacing falls back to per-row block writes. *)
+      let my_rows =
+        Array.init (if me < n then ((n - 1 - me) / nprocs) + 1 else 0)
+          (fun k -> me + (k * nprocs))
+      in
+      let row_data r = Array.init n (fun j -> Gauss.init_elem gp r j land Gauss.value_mask) in
+      let uniform_stride =
+        if (not p.bulk) || Array.length my_rows < 2 then None
+        else begin
+          let d = rows.(my_rows.(1)) - rows.(my_rows.(0)) in
+          let ok = ref (d >= n) in
+          for k = 2 to Array.length my_rows - 1 do
+            if rows.(my_rows.(k)) - rows.(my_rows.(k - 1)) <> d then ok := false
+          done;
+          if !ok then Some d else None
+        end
+      in
+      (match uniform_stride with
+      | Some stride ->
+        let data = Array.concat (Array.to_list (Array.map row_data my_rows)) in
+        Api.write_stride rows.(my_rows.(0)) ~elem_words:n ~stride data
+      | None -> Array.iter (fun r -> Api.block_write rows.(r) (row_data r)) my_rows);
       Sync.Barrier.wait barrier;
       if me = 0 then start_ns := Api.now ();
       (* Pivot slices arrive tagged with their round; out-of-order arrivals

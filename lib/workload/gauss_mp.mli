@@ -14,6 +14,10 @@ type params = {
   compute_ns_per_word : int;
   seed : int;
   verify : bool;
+  bulk : bool;
+      (** initialize this worker's rows with one strided transaction when
+          they are uniformly spaced (default); [false] always writes
+          per-row blocks *)
 }
 
 val params :
@@ -21,6 +25,7 @@ val params :
   ?compute_ns_per_word:int ->
   ?seed:int ->
   ?verify:bool ->
+  ?bulk:bool ->
   nprocs:int ->
   unit ->
   params

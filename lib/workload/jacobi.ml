@@ -8,13 +8,14 @@ type params = {
   compute_ns_per_point : int;
   seed : int;
   verify : bool;
+  bulk : bool;
 }
 
 let params ?(n = 128) ?(iters = 12) ?(compute_ns_per_point = 2_000) ?(seed = 11)
-    ?(verify = true) ~nprocs () =
+    ?(verify = true) ?(bulk = true) ~nprocs () =
   if n < 4 then invalid_arg "Jacobi.params: n must be at least 4";
   if nprocs < 1 || nprocs > n - 2 then invalid_arg "Jacobi.params: bad nprocs";
-  { n; iters; nprocs; compute_ns_per_point; seed; verify }
+  { n; iters; nprocs; compute_ns_per_point; seed; verify; bulk }
 
 let mask = 0xFFFFF
 
@@ -81,9 +82,18 @@ let make p =
       let src = ref buf_a and dst = ref buf_b in
       for _iter = 1 to p.iters do
         for r = lo me to hi me do
-          let above = Api.block_read (!src + ((r - 1) * n)) n in
-          let row = Api.block_read (!src + (r * n)) n in
-          let below = Api.block_read (!src + ((r + 1) * n)) n in
+          (* Rows r-1, r, r+1 are contiguous: one 3n-word transaction
+             replaces three kernel traps when running in bulk mode. *)
+          let above, row, below =
+            if p.bulk then begin
+              let tri = Api.block_read (!src + ((r - 1) * n)) (3 * n) in
+              (Array.sub tri 0 n, Array.sub tri n n, Array.sub tri (2 * n) n)
+            end
+            else
+              ( Api.block_read (!src + ((r - 1) * n)) n,
+                Api.block_read (!src + (r * n)) n,
+                Api.block_read (!src + ((r + 1) * n)) n )
+          in
           let fresh = Array.make n 0 in
           relax ~above ~row ~below ~out:fresh;
           Api.compute (n * p.compute_ns_per_point);

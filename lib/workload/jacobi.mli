@@ -20,6 +20,9 @@ type params = {
   compute_ns_per_point : int;
   seed : int;
   verify : bool;
+  bulk : bool;
+      (** read the three stencil rows as one 3n-word transaction (default);
+          [false] replays the original three-block access stream *)
 }
 
 val params :
@@ -28,6 +31,7 @@ val params :
   ?compute_ns_per_point:int ->
   ?seed:int ->
   ?verify:bool ->
+  ?bulk:bool ->
   nprocs:int ->
   unit ->
   params

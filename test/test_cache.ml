@@ -63,28 +63,28 @@ let mk_uma ?(nprocs = 4) () =
 let test_uma_read_write () =
   let _uma, ms = mk_uma () in
   let a = ms.Memsys.alloc ~zone:0 ~words:4 ~page_aligned:false in
-  let l1 = ms.Memsys.write ~aspace:0 ~now:0 ~proc:0 ~vaddr:a 42 in
-  let v, _l2 = ms.Memsys.read ~aspace:0 ~now:1_000_000 ~proc:0 ~vaddr:a in
+  let l1 = Memsys.write ms ~aspace:0 ~now:0 ~proc:0 ~vaddr:a 42 in
+  let v, _l2 = Memsys.read ms ~aspace:0 ~now:1_000_000 ~proc:0 ~vaddr:a in
   Alcotest.(check int) "round trip" 42 v;
   Alcotest.(check bool) "write cost > 0" true (l1 > 0)
 
 let test_uma_hit_faster_than_miss () =
   let _uma, ms = mk_uma () in
   let a = ms.Memsys.alloc ~zone:0 ~words:4 ~page_aligned:false in
-  let _, miss = ms.Memsys.read ~aspace:0 ~now:0 ~proc:1 ~vaddr:a in
-  let _, hit = ms.Memsys.read ~aspace:0 ~now:1_000_000 ~proc:1 ~vaddr:a in
+  let _, miss = Memsys.read ms ~aspace:0 ~now:0 ~proc:1 ~vaddr:a in
+  let _, hit = Memsys.read ms ~aspace:0 ~now:1_000_000 ~proc:1 ~vaddr:a in
   Alcotest.(check bool) "miss slower than hit" true (miss > hit);
   Alcotest.(check int) "hit = t_hit" Uma_sys.sequent.Uma_sys.t_hit hit
 
 let test_uma_coherence_via_snooping () =
   let _uma, ms = mk_uma () in
   let a = ms.Memsys.alloc ~zone:0 ~words:4 ~page_aligned:false in
-  ignore (ms.Memsys.write ~aspace:0 ~now:0 ~proc:0 ~vaddr:a 1);
-  let v1, _ = ms.Memsys.read ~aspace:0 ~now:10_000 ~proc:1 ~vaddr:a in
+  ignore (Memsys.write ms ~aspace:0 ~now:0 ~proc:0 ~vaddr:a 1);
+  let v1, _ = Memsys.read ms ~aspace:0 ~now:10_000 ~proc:1 ~vaddr:a in
   Alcotest.(check int) "first read" 1 v1;
   (* proc 0 writes again; proc 1's cached line must be invalidated. *)
-  ignore (ms.Memsys.write ~aspace:0 ~now:20_000 ~proc:0 ~vaddr:a 2);
-  let v2, lat = ms.Memsys.read ~aspace:0 ~now:30_000 ~proc:1 ~vaddr:a in
+  ignore (Memsys.write ms ~aspace:0 ~now:20_000 ~proc:0 ~vaddr:a 2);
+  let v2, lat = Memsys.read ms ~aspace:0 ~now:30_000 ~proc:1 ~vaddr:a in
   Alcotest.(check int) "stale line invalidated" 2 v2;
   Alcotest.(check bool) "and it was a miss" true (lat > Uma_sys.sequent.Uma_sys.t_hit)
 
@@ -92,25 +92,25 @@ let test_uma_bus_contention () =
   let _uma, ms = mk_uma () in
   (* Two simultaneous misses: the second queues on the bus. *)
   let a = ms.Memsys.alloc ~zone:0 ~words:64 ~page_aligned:true in
-  let _, l1 = ms.Memsys.read ~aspace:0 ~now:0 ~proc:0 ~vaddr:a in
-  let _, l2 = ms.Memsys.read ~aspace:0 ~now:0 ~proc:1 ~vaddr:(a + 32) in
+  let _, l1 = Memsys.read ms ~aspace:0 ~now:0 ~proc:0 ~vaddr:a in
+  let _, l2 = Memsys.read ms ~aspace:0 ~now:0 ~proc:1 ~vaddr:(a + 32) in
   Alcotest.(check bool) "second waits for the bus" true (l2 > l1)
 
 let test_uma_block_ops () =
   let _uma, ms = mk_uma () in
   let a = ms.Memsys.alloc ~zone:0 ~words:100 ~page_aligned:true in
   let data = Array.init 100 (fun i -> i * 2) in
-  ignore (ms.Memsys.block_write ~aspace:0 ~now:0 ~proc:0 ~vaddr:a data);
-  let got, _ = ms.Memsys.block_read ~aspace:0 ~now:1_000_000 ~proc:2 ~vaddr:a ~len:100 in
+  ignore (Memsys.block_write ms ~aspace:0 ~now:0 ~proc:0 ~vaddr:a data);
+  let got, _ = Memsys.block_read ms ~aspace:0 ~now:1_000_000 ~proc:2 ~vaddr:a ~len:100 in
   Alcotest.(check (array int)) "block round trip" data got
 
 let test_uma_rmw () =
   let _uma, ms = mk_uma () in
   let a = ms.Memsys.alloc ~zone:0 ~words:1 ~page_aligned:false in
-  ignore (ms.Memsys.write ~aspace:0 ~now:0 ~proc:0 ~vaddr:a 5);
-  let old, _ = ms.Memsys.rmw ~aspace:0 ~now:10_000 ~proc:1 ~vaddr:a (fun v -> v + 1) in
+  ignore (Memsys.write ms ~aspace:0 ~now:0 ~proc:0 ~vaddr:a 5);
+  let old, _ = Memsys.rmw ms ~aspace:0 ~now:10_000 ~proc:1 ~vaddr:a (fun v -> v + 1) in
   Alcotest.(check int) "old" 5 old;
-  let v, _ = ms.Memsys.read ~aspace:0 ~now:20_000 ~proc:2 ~vaddr:a in
+  let v, _ = Memsys.read ms ~aspace:0 ~now:20_000 ~proc:2 ~vaddr:a in
   Alcotest.(check int) "incremented" 6 v
 
 (* Segments on the flat UMA machine: every "space" maps them at the same

@@ -13,6 +13,7 @@ let () =
       ("stats", Test_stats.suite);
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);
+      ("golden", Test_golden.suite);
       ("extensions", Test_extensions.suite);
       ("units", Test_units.suite);
     ]
