@@ -26,22 +26,32 @@ let run_t1 (scale : scale) =
      interval sits right at the t1 boundary)\n\n%8s %12s %12s\n"
     n n nprocs "t1" "gauss" "jacobi";
   let t1s = [ 1; 3; 10; 30; 100; 300 ] in
-  let times =
-    List.map
-      (fun t1_ms ->
+  (* gauss and jacobi at each t1 are independent cells: one flat grid. *)
+  let cells = List.concat_map (fun t1_ms -> [ (`Gauss, t1_ms); (`Jacobi, t1_ms) ]) t1s in
+  let grid =
+    par_map
+      (fun (kind, t1_ms) ->
         let config =
           Config.with_policy_params ~t1_freeze_window:(t1_ms * 1_000_000)
             (Config.butterfly_plus ~nprocs ())
         in
         let policy = policy_named "platinum" config in
-        let t = gauss_work ~n ~config ~policy () in
-        let j, jr =
-          run_platinum ~config ~policy
-            (Jacobi.make (Jacobi.params ~n:96 ~iters:10 ~nprocs:(min nprocs 8) ~verify:false ()))
-        in
-        let jfreezes =
-          (Coherent.counters jr.Runner.setup.Runner.coherent).Counters.freezes
-        in
+        match kind with
+        | `Gauss -> (gauss_work ~n ~config ~policy (), 0)
+        | `Jacobi ->
+          let j, jr =
+            run_platinum ~config ~policy
+              (Jacobi.make
+                 (Jacobi.params ~n:96 ~iters:10 ~nprocs:(min nprocs 8) ~verify:false ()))
+          in
+          (j, (Coherent.counters jr.Runner.setup.Runner.coherent).Counters.freezes))
+      cells
+  in
+  let times =
+    List.mapi
+      (fun i t1_ms ->
+        let t, _ = List.nth grid (2 * i) in
+        let j, jfreezes = List.nth grid ((2 * i) + 1) in
         Printf.printf "%6dms %10.1fms %10.1fms (%d pages frozen)\n%!" t1_ms (ms_of t) (ms_of j)
           jfreezes;
         (t1_ms, (t, (j, jfreezes))))
@@ -76,25 +86,36 @@ let run_pol (scale : scale) =
     napps (gauss_page_words * 4);
   Printf.printf "%-18s %12s %12s %12s\n" "policy" "gauss" "mergesort" "backprop";
   Printf.printf "%s\n" (String.make 58 '-');
-  let results =
-    List.map
-      (fun name ->
-        let config = Config.butterfly_plus ~nprocs () in
-        let policy = policy_named name config in
-        let gauss_config = Config.butterfly_plus ~nprocs ~page_words:gauss_page_words () in
-        let g =
+  (* policy x application cells, flattened for maximum pool occupancy. *)
+  let apps = [ `Gauss; `Mergesort; `Backprop ] in
+  let cells =
+    List.concat_map (fun name -> List.map (fun a -> (name, a)) apps) Policy.default_names
+  in
+  let grid =
+    par_map
+      (fun (name, app) ->
+        match app with
+        | `Gauss ->
+          let gauss_config = Config.butterfly_plus ~nprocs ~page_words:gauss_page_words () in
           gauss_work ~n:napps ~config:gauss_config ~policy:(policy_named name gauss_config) ()
-        in
-        let m =
+        | `Mergesort ->
+          let config = Config.butterfly_plus ~nprocs () in
           fst
-            (run_platinum ~config ~policy
+            (run_platinum ~config ~policy:(policy_named name config)
                (Mergesort.make (Mergesort.params ~n:16_384 ~nprocs ~verify:false ())))
-        in
-        let b =
+        | `Backprop ->
+          let config = Config.butterfly_plus ~nprocs () in
           fst
-            (run_platinum ~config ~policy
-               (Backprop.make (Backprop.params ~epochs:2 ~nprocs ~verify:false ())))
-        in
+            (run_platinum ~config ~policy:(policy_named name config)
+               (Backprop.make (Backprop.params ~epochs:2 ~nprocs ~verify:false ()))))
+      cells
+  in
+  let results =
+    List.mapi
+      (fun i name ->
+        let g = List.nth grid (3 * i)
+        and m = List.nth grid ((3 * i) + 1)
+        and b = List.nth grid ((3 * i) + 2) in
         Printf.printf "%-18s %11.1f %12.1f %12.1f\n%!" name (ms_of g) (ms_of m) (ms_of b);
         (name, (g, m, b)))
       Policy.default_names
@@ -124,8 +145,8 @@ let run_page (scale : scale) =
   Printf.printf "%10s %12s %12s\n" "page" "gauss" "backprop";
   Printf.printf "%s\n" (String.make 38 '-');
   let page_sizes = [ 64; 128; 256; 512; 1024; 2048; 4096 ] in
-  let rows =
-    List.map
+  let computed =
+    par_map
       (fun page_words ->
         let config = Config.butterfly_plus ~nprocs ~page_words () in
         let policy = policy_named "platinum" config in
@@ -135,9 +156,15 @@ let run_page (scale : scale) =
             (run_platinum ~config ~policy
                (Backprop.make (Backprop.params ~epochs:2 ~nprocs ~verify:false ())))
         in
-        Printf.printf "%8dB %11.1f %12.1f\n%!" (page_words * 4) (ms_of g) (ms_of b);
         (page_words, (g, b)))
       page_sizes
+  in
+  let rows =
+    List.map
+      (fun (page_words, (g, b)) ->
+        Printf.printf "%8dB %11.1f %12.1f\n%!" (page_words * 4) (ms_of g) (ms_of b);
+        (page_words, (g, b)))
+      computed
   in
   Printf.printf
     "\n(§4.1: larger pages amortize the fixed fault overhead while the access\n\

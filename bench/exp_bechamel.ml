@@ -16,6 +16,7 @@ module Policy = Platinum_core.Policy
 module Coherent = Platinum_core.Coherent
 
 module IH = Heap.Make (Int)
+module Eheap = Platinum_sim.Eheap
 
 let test_heap =
   Test.make ~name:"heap: 64 insert + drain"
@@ -26,6 +27,17 @@ let test_heap =
          done;
          let rec drain h = match IH.delete_min h with None -> () | Some (_, h) -> drain h in
          drain !h))
+
+let test_eheap =
+  Test.make ~name:"eheap: 64 insert + drain"
+    (Staged.stage (fun () ->
+         let h = Eheap.create ~capacity:64 ~dummy:0 () in
+         for i = 63 downto 0 do
+           Eheap.add h ~time:i ~seq:(63 - i) i
+         done;
+         while not (Eheap.is_empty h) do
+           ignore (Eheap.pop h)
+         done))
 
 let test_engine =
   Test.make ~name:"engine: schedule + run 64 events"
@@ -71,7 +83,7 @@ let run (_ : Exp_common.scale) =
   Exp_common.section "Simulator hot paths (Bechamel, host performance)";
   let tests =
     Test.make_grouped ~name:"platinum"
-      [ test_heap; test_engine; test_rng; test_procset; test_read_hit ]
+      [ test_heap; test_eheap; test_engine; test_rng; test_procset; test_read_hit ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in

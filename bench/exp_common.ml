@@ -1,6 +1,7 @@
 (* Shared plumbing for the experiment harness. *)
 
 module Runner = Platinum_runner.Runner
+module Par = Platinum_runner.Par
 module Report = Platinum_stats.Report
 module Config = Platinum_machine.Config
 module Policy = Platinum_core.Policy
@@ -15,6 +16,12 @@ type scale = {
 }
 
 let default_procs = [ 1; 2; 4; 8; 12; 16 ]
+
+(* Fan a grid of independent simulation cells over the domain pool (width
+   set by the harness's -j flag; -j 1 is strictly sequential).  Cell
+   functions must not print: compute the grid first, then format rows in
+   input order — that keeps the report byte-identical at any -j. *)
+let par_map f cells = Par.map f cells
 
 let policy_named name (config : Config.t) =
   match Policy.of_string ~t1:config.Config.t1_freeze_window name with
@@ -69,3 +76,10 @@ let ms_of ns = float_of_int ns /. 1e6
 
 let check_shape what ok =
   Printf.printf "  [%s] %s\n%!" (if ok then "OK" else "MISS") what
+
+(* One "host" JSON object for every BENCH_*.json file, so trajectory
+   entries are comparable across machines. *)
+let host_json () =
+  Printf.sprintf
+    "{ \"recommended_domains\": %d, \"ocaml_version\": %S, \"word_size_bits\": %d }"
+    (Par.default_jobs ()) Sys.ocaml_version Sys.word_size

@@ -39,9 +39,22 @@ let run (scale : scale) =
     work
   in
   let procs = scale.procs in
-  let platinum = List.map (shared "platinum") procs in
-  let uniform = List.map (shared "uniform-system") procs in
-  let smp = List.map mp procs in
+  (* One flat grid of independent cells (3 series x |procs|) through the
+     domain pool; results come back in input order. *)
+  let series = [ `Policy "platinum"; `Policy "uniform-system"; `Mp ] in
+  let cells = List.concat_map (fun s -> List.map (fun p -> (s, p)) procs) series in
+  let times =
+    par_map
+      (fun (s, nprocs) ->
+        match s with
+        | `Policy name -> shared name nprocs
+        | `Mp -> mp nprocs)
+      cells
+  in
+  let npts = List.length procs in
+  let platinum = List.filteri (fun i _ -> i / npts = 0) times in
+  let uniform = List.filteri (fun i _ -> i / npts = 1) times in
+  let smp = List.filteri (fun i _ -> i / npts = 2) times in
   print_speedup_table ~procs
     [ ("PLATINUM", platinum); ("Uniform System", uniform); ("SMP (ports)", smp) ];
   (match List.rev procs, List.rev platinum, List.rev uniform, List.rev smp with

@@ -12,7 +12,7 @@ let run (scale : scale) =
   Printf.printf "40 units, 16 input/output pairs (the encoder problem), %d epochs\n" epochs;
   let procs = scale.procs in
   let results =
-    List.map
+    par_map
       (fun nprocs ->
         run_platinum (Backprop.make (Backprop.params ~epochs ~nprocs ~verify:false ())))
       procs

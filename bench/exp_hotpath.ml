@@ -88,6 +88,7 @@ let run (scale : Exp_common.scale) =
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"hotpath\",\n\
+    \  \"host\": %s,\n\
     \  \"grid\": %d,\n\
     \  \"iters\": %d,\n\
     \  \"nprocs\": %d,\n\
@@ -96,6 +97,7 @@ let run (scale : Exp_common.scale) =
     \  \"batched\": { \"wall_s\": %.6f, \"words_per_sec\": %.0f },\n\
     \  \"throughput_ratio\": %.2f\n\
      }\n"
-    n iters nprocs words wall_word (rate wall_word) wall_txn (rate wall_txn) speedup;
+    (Exp_common.host_json ()) n iters nprocs words wall_word (rate wall_word) wall_txn
+    (rate wall_txn) speedup;
   close_out oc;
   Printf.printf "  wrote BENCH_hotpath.json\n%!"

@@ -27,14 +27,18 @@ let experiments : (string * string * (Exp_common.scale -> unit)) list =
     ( "throughput",
       "wall-clock words/second of the memory hot path (emits BENCH_hotpath.json)",
       Exp_hotpath.run );
+    ( "sweep",
+      "domain-parallel sweep wall-clock and event-core events/sec (emits BENCH_sweep.json)",
+      Exp_sweep.run );
   ]
 
-let run_selected names full procs list_only =
+let run_selected names full procs jobs list_only =
   if list_only then begin
     List.iter (fun (id, doc, _) -> Printf.printf "%-10s %s\n" id doc) experiments;
     0
   end
   else begin
+    Platinum_runner.Par.set_jobs jobs;
     let scale = { Exp_common.full; procs } in
     let targets =
       match names with
@@ -67,6 +71,14 @@ let procs_arg =
   let doc = "Processor counts for speedup curves (comma separated)." in
   Arg.(value & opt (list int) Exp_common.default_procs & info [ "procs" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Host domains for sweep grids (default: Domain.recommended_domain_count; 1 \
+     reproduces today's sequential behavior exactly).  Grid results are collected \
+     in input order, so the output is byte-identical at any -j."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let list_arg =
   let doc = "List experiment ids and exit." in
   Arg.(value & flag & info [ "list" ] ~doc)
@@ -74,6 +86,7 @@ let list_arg =
 let cmd =
   let doc = "regenerate the tables and figures of the PLATINUM paper" in
   let info = Cmd.info "platinum-bench" ~doc in
-  Cmd.v info Term.(const run_selected $ names_arg $ full_arg $ procs_arg $ list_arg)
+  Cmd.v info
+    Term.(const run_selected $ names_arg $ full_arg $ procs_arg $ jobs_arg $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

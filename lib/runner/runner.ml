@@ -54,11 +54,13 @@ let time ?config ?policy ?defrost ?frames_per_module ?default_zone_pages main =
   let setup = make ?config ?policy ?defrost ?frames_per_module ?default_zone_pages () in
   run setup ~main
 
-let speedup ?(nprocs_list = [ 1; 2; 4; 8; 12; 16 ]) ?base_config ?policy_of ?frames_per_module
-    ?default_zone_pages main =
+let speedup ?jobs ?(nprocs_list = [ 1; 2; 4; 8; 12; 16 ]) ?base_config ?policy_of
+    ?frames_per_module ?default_zone_pages main =
   let base = match base_config with Some c -> c | None -> Config.butterfly_plus () in
+  (* Each processor count is an independent simulation: fan the curve out
+     over the domain pool and collect the points in input order. *)
   let results =
-    List.map
+    Par.map ?jobs
       (fun nprocs ->
         let config = { base with Config.nprocs } in
         let policy = Option.map (fun f -> f config) policy_of in

@@ -49,6 +49,7 @@ val time :
 (** [make] + [run] in one step. *)
 
 val speedup :
+  ?jobs:int ->
   ?nprocs_list:int list ->
   ?base_config:Platinum_machine.Config.t ->
   ?policy_of:(Platinum_machine.Config.t -> Platinum_core.Policy.t) ->
@@ -57,7 +58,10 @@ val speedup :
   (nprocs:int -> unit -> unit) ->
   (int * float * result) list
 (** Run the same program for each processor count (default 1, 2, 4, 8, 12,
-    16) and return [(p, T1/Tp, result)] per point. *)
+    16) and return [(p, T1/Tp, result)] per point.  The points are
+    independent simulations and run on the {!Par} domain pool ([?jobs]
+    defaults to [Par.get_jobs ()]; [~jobs:1] is strictly sequential);
+    results always come back in [nprocs_list] order. *)
 
 (* --- the UMA comparison machine (Figure 5) --- *)
 

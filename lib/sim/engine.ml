@@ -1,36 +1,36 @@
-module Key = struct
-  (* (time, sequence): the sequence number makes simultaneous events run in
-     scheduling order, which keeps runs deterministic. *)
-  type t = int * int
+(* The event queue is an array-backed binary min-heap (Eheap) keyed by
+   (time, tagged seq).  The sequence number makes simultaneous events run
+   in scheduling order, which keeps runs deterministic; its low bit carries
+   the daemon flag (seq is unique per event, so tagging the parity never
+   reorders anything).  One closure per event is the only allocation. *)
 
-  let compare (t1, s1) (t2, s2) =
-    let c = compare t1 t2 in
-    if c <> 0 then c else compare s1 s2
-end
-
-module H = Heap.Make (Key)
-
-type event = {
-  ev_daemon : bool;
-  ev_fn : unit -> unit;
-}
+let nothing () = ()
 
 type t = {
   mutable clock : Time_ns.t;
   mutable seq : int;
-  mutable queue : event H.t;
+  queue : (unit -> unit) Eheap.t;
   mutable processed : int;
   mutable normal_pending : int;  (* non-daemon events in the queue *)
 }
 
-let create () = { clock = 0; seq = 0; queue = H.empty; processed = 0; normal_pending = 0 }
+let create () =
+  {
+    clock = 0;
+    seq = 0;
+    queue = Eheap.create ~capacity:256 ~dummy:nothing ();
+    processed = 0;
+    normal_pending = 0;
+  }
+
 let now t = t.clock
 
 let schedule_at t ?(daemon = false) ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %d is in the past (now=%d)" at t.clock);
-  t.queue <- H.insert (at, t.seq) { ev_daemon = daemon; ev_fn = f } t.queue;
+  let tagged = (t.seq lsl 1) lor if daemon then 1 else 0 in
+  Eheap.add t.queue ~time:at ~seq:tagged f;
   if not daemon then t.normal_pending <- t.normal_pending + 1;
   t.seq <- t.seq + 1
 
@@ -44,34 +44,46 @@ let every t ?daemon ~period ?start f =
   let rec fire () = if f () then schedule_after t ?daemon ~delay:period fire in
   schedule_at t ?daemon ~at:first fire
 
-let step t =
-  match H.delete_min t.queue with
-  | None -> false
-  | Some (((at, _), ev), rest) ->
-    t.queue <- rest;
+(* Run the earliest event; [`Normal]/[`Daemon] say what ran. *)
+let step_kind t =
+  if Eheap.is_empty t.queue then `Empty
+  else begin
+    let at = Eheap.min_time t.queue in
+    let daemon = Eheap.min_seq t.queue land 1 = 1 in
+    let fn = Eheap.pop t.queue in
     t.clock <- at;
     t.processed <- t.processed + 1;
-    if not ev.ev_daemon then t.normal_pending <- t.normal_pending - 1;
-    ev.ev_fn ();
-    true
+    if not daemon then t.normal_pending <- t.normal_pending - 1;
+    fn ();
+    if daemon then `Daemon else `Normal
+  end
+
+let step t = step_kind t <> `Empty
 
 let run ?limit t =
   match limit with
   | None -> while t.normal_pending > 0 && step t do () done
   | Some n ->
+    (* The budget counts non-daemon events only: daemons (periodic kernel
+       chores) ride along free, so a limit measures application work, not
+       how often the defrost daemon happened to tick. *)
     let budget = ref n in
-    while !budget > 0 && t.normal_pending > 0 && step t do
-      decr budget
+    while !budget > 0 && t.normal_pending > 0 do
+      match step_kind t with
+      | `Normal -> decr budget
+      | `Daemon -> ()
+      | `Empty -> budget := 0
     done
 
 let run_until t horizon =
   let continue = ref true in
   while !continue do
-    match H.find_min t.queue with
-    | Some ((at, _), _) when at <= horizon -> ignore (step t)
-    | Some _ | None -> continue := false
+    if (not (Eheap.is_empty t.queue)) && Eheap.min_time t.queue <= horizon then
+      ignore (step t)
+    else continue := false
   done;
   if horizon > t.clock then t.clock <- horizon
 
 let events_processed t = t.processed
+let pending_events t = Eheap.size t.queue
 let is_empty t = t.normal_pending = 0

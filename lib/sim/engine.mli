@@ -31,8 +31,10 @@ val step : t -> bool
 (** Run the earliest event.  [false] when the queue was empty. *)
 
 val run : ?limit:int -> t -> unit
-(** Run events until no non-daemon events remain, or until [limit] events
-    have been processed (default unlimited). *)
+(** Run events until no non-daemon events remain, or until [limit]
+    {e non-daemon} events have been processed (default unlimited).  Daemon
+    events that interleave do not consume the budget: a limit bounds
+    application work, independent of how often periodic daemons tick. *)
 
 val run_until : t -> Time_ns.t -> unit
 (** Run every event with timestamp [<=] the given horizon, advancing the
@@ -40,6 +42,9 @@ val run_until : t -> Time_ns.t -> unit
 
 val events_processed : t -> int
 (** Total number of events executed so far (for instrumentation). *)
+
+val pending_events : t -> int
+(** Events (daemon or not) currently queued.  O(1). *)
 
 val is_empty : t -> bool
 (** No non-daemon events pending. *)

@@ -50,7 +50,14 @@ module Make (Key : ORDERED) = struct
     in
     loop [] h
 
-  let rec size = function
-    | Empty -> 0
-    | Node (_, _, children) -> 1 + List.fold_left (fun n c -> n + size c) 0 children
+  (* Tail-recursive with an explicit worklist: the natural recursion
+     descends one frame per child and can exhaust the stack on adversarial
+     (deep, list-like) shapes. *)
+  let size h =
+    let rec loop n = function
+      | [] -> n
+      | Empty :: rest -> loop n rest
+      | Node (_, _, children) :: rest -> loop (n + 1) (List.rev_append children rest)
+    in
+    loop 0 [ h ]
 end

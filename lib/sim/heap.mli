@@ -33,5 +33,7 @@ module Make (Key : ORDERED) : sig
       tests and debugging, not the hot path. *)
 
   val size : 'a t -> int
-  (** O(n); intended for tests. *)
+  (** O(n) but tail-recursive (constant stack on any shape); intended for
+      tests.  Hot paths that need a count should maintain their own — the
+      engine keeps an O(1) counter instead of walking its queue. *)
 end

@@ -8,12 +8,14 @@ type t = {
   coh : Coherent.t;
 }
 
-let next_id = ref 0
+(* Atomic: memory objects may be created from concurrent sweep domains
+   (Runner.Par); the id only needs to be unique, not dense, so a plain
+   fetch-and-add is enough and keeps each domain's simulation race-free. *)
+let next_id = Atomic.make 0
 
 let create coh ~name ~npages =
   if npages <= 0 then invalid_arg "Memobj.create: npages must be positive";
-  let id = !next_id in
-  incr next_id;
+  let id = Atomic.fetch_and_add next_id 1 in
   { obj_id = id; obj_name = name; pages = Array.make npages None; coh }
 
 let id t = t.obj_id

@@ -14,6 +14,7 @@ let () =
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);
+      ("par", Test_parsweep.suite);
       ("extensions", Test_extensions.suite);
       ("units", Test_units.suite);
     ]

@@ -1,6 +1,7 @@
 (* Tests for the discrete-event substrate: heaps, the engine, the PRNG. *)
 
 module Heap = Platinum_sim.Heap
+module Eheap = Platinum_sim.Eheap
 module Engine = Platinum_sim.Engine
 module Rng = Platinum_sim.Rng
 module Time_ns = Platinum_sim.Time_ns
@@ -62,6 +63,108 @@ let prop_heap_merge_is_union =
       let hb = IH.of_list (List.map (fun k -> (k, ())) b) in
       let drained = List.map fst (IH.to_sorted_list (IH.merge ha hb)) in
       drained = List.sort compare (a @ b))
+
+let prop_heap_size_deep_shape =
+  (* Adversarial shape for the old recursive size: a long insert-only chain
+     degenerates into deep child lists; size must stay constant-stack. *)
+  QCheck.Test.make ~name:"heap size survives deep list-like shapes" ~count:5
+    QCheck.(int_range 100_000 200_000)
+    (fun n ->
+      let h = ref IH.empty in
+      for i = 1 to n do
+        h := IH.insert i i !h
+      done;
+      IH.size !h = n)
+
+(* --- Eheap --- *)
+
+let drain_eheap h =
+  let out = ref [] in
+  while not (Eheap.is_empty h) do
+    let t = Eheap.min_time h and s = Eheap.min_seq h in
+    out := (t, s, Eheap.pop h) :: !out
+  done;
+  List.rev !out
+
+let test_eheap_empty () =
+  let h = Eheap.create ~dummy:0 () in
+  Alcotest.(check bool) "empty" true (Eheap.is_empty h);
+  Alcotest.(check int) "size 0" 0 (Eheap.size h);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Eheap.pop: empty heap") (fun () ->
+      ignore (Eheap.pop h))
+
+let test_eheap_order () =
+  let h = Eheap.create ~capacity:2 ~dummy:"" () in
+  Eheap.add h ~time:30 ~seq:0 "c";
+  Eheap.add h ~time:10 ~seq:1 "a";
+  Eheap.add h ~time:20 ~seq:2 "b";
+  Eheap.add h ~time:10 ~seq:3 "a2";
+  Alcotest.(check int) "size" 4 (Eheap.size h);
+  Alcotest.(check (list string)) "time order, ties by seq" [ "a"; "a2"; "b"; "c" ]
+    (List.map (fun (_, _, v) -> v) (drain_eheap h))
+
+let test_eheap_fallback () =
+  (* A time beyond the packed range forces the two-array representation;
+     the order must be unchanged, mid-stream. *)
+  let h = Eheap.create ~dummy:0 () in
+  Eheap.add h ~time:5 ~seq:0 1;
+  Alcotest.(check bool) "starts packed" true (Eheap.is_packed h);
+  Eheap.add h ~time:(Eheap.max_packed_time + 7) ~seq:1 2;
+  Eheap.add h ~time:3 ~seq:2 3;
+  Alcotest.(check bool) "spilled" false (Eheap.is_packed h);
+  Alcotest.(check (list int)) "order across the migration" [ 3; 1; 2 ]
+    (List.map (fun (_, _, v) -> v) (drain_eheap h))
+
+let prop_eheap_matches_pairing =
+  (* The tentpole contract: the array heap dequeues in exactly the pairing
+     heap's order on any insert / delete-min interleaving.  Ops: [Some t] =
+     insert at time t (seq auto-increments), [None] = delete-min. *)
+  QCheck.Test.make ~name:"eheap order == pairing heap order on random interleavings"
+    ~count:500
+    QCheck.(list (option (int_bound 50)))
+    (fun ops ->
+      let module K = struct
+        type t = int * int
+
+        let compare (t1, s1) (t2, s2) =
+          let c = compare t1 t2 in
+          if c <> 0 then c else compare s1 s2
+      end in
+      let module PH = Heap.Make (K) in
+      let ph = ref PH.empty in
+      let eh = Eheap.create ~capacity:1 ~dummy:(-1) () in
+      let seq = ref 0 in
+      let mismatch = ref false in
+      List.iter
+        (fun op ->
+          match op with
+          | Some t ->
+            ph := PH.insert (t, !seq) !seq !ph;
+            Eheap.add eh ~time:t ~seq:!seq !seq;
+            incr seq
+          | None -> (
+            match PH.delete_min !ph with
+            | None -> if not (Eheap.is_empty eh) then mismatch := true
+            | Some (((t, s), v), rest) ->
+              ph := rest;
+              if
+                Eheap.is_empty eh
+                || Eheap.min_time eh <> t
+                || Eheap.min_seq eh <> s
+                || Eheap.pop eh <> v
+              then mismatch := true))
+        ops;
+      (* Drain what's left: the tails must agree too. *)
+      let rec drain () =
+        match PH.delete_min !ph with
+        | None -> if not (Eheap.is_empty eh) then mismatch := true
+        | Some ((_, v), rest) ->
+          ph := rest;
+          if Eheap.is_empty eh || Eheap.pop eh <> v then mismatch := true;
+          drain ()
+      in
+      drain ();
+      not !mismatch)
 
 (* --- Engine --- *)
 
@@ -156,7 +259,23 @@ let test_engine_limit () =
   done;
   Engine.run ~limit:3 e;
   Alcotest.(check int) "limited" 3 !count;
-  Alcotest.(check int) "events_processed" 3 (Engine.events_processed e)
+  Alcotest.(check int) "events_processed" 3 (Engine.events_processed e);
+  Alcotest.(check int) "pending is O(1) and counts the rest" 7 (Engine.pending_events e)
+
+(* Pins the chosen ?limit semantics: the budget counts non-daemon events
+   only; interleaved daemon ticks ride along free. *)
+let test_engine_limit_ignores_daemons () =
+  let e = Engine.create () in
+  let normal = ref 0 and daemon = ref 0 in
+  for i = 1 to 5 do
+    Engine.schedule_at e ~daemon:true ~at:((2 * i) - 1) (fun () -> incr daemon);
+    Engine.schedule_at e ~at:(2 * i) (fun () -> incr normal)
+  done;
+  Engine.run ~limit:3 e;
+  Alcotest.(check int) "three normal events consumed the budget" 3 !normal;
+  Alcotest.(check int) "interleaved daemons ran for free" 3 !daemon;
+  Engine.run e;
+  Alcotest.(check int) "the rest still runs" 5 !normal
 
 (* --- Rng --- *)
 
@@ -236,6 +355,11 @@ let suite =
     qtest prop_heap_sorts;
     qtest prop_heap_size;
     qtest prop_heap_merge_is_union;
+    qtest prop_heap_size_deep_shape;
+    ("eheap: empty", `Quick, test_eheap_empty);
+    ("eheap: order and ties", `Quick, test_eheap_order);
+    ("eheap: packed-range fallback", `Quick, test_eheap_fallback);
+    qtest prop_eheap_matches_pairing;
     ("engine: time order", `Quick, test_engine_order);
     ("engine: FIFO tie-break", `Quick, test_engine_fifo_ties);
     ("engine: rejects the past", `Quick, test_engine_past_rejected);
@@ -245,6 +369,7 @@ let suite =
     ("engine: daemon events interleave", `Quick, test_engine_daemon_events);
     ("engine: daemons don't hold the run", `Quick, test_engine_daemon_only_never_runs);
     ("engine: event limit", `Quick, test_engine_limit);
+    ("engine: limit counts only non-daemon events", `Quick, test_engine_limit_ignores_daemons);
     ("rng: deterministic", `Quick, test_rng_deterministic);
     ("rng: seed matters", `Quick, test_rng_seed_matters);
     ("rng: copy", `Quick, test_rng_copy);
