@@ -30,6 +30,9 @@ let experiments : (string * string * (Exp_common.scale -> unit)) list =
     ( "sweep",
       "domain-parallel sweep wall-clock and event-core events/sec (emits BENCH_sweep.json)",
       Exp_sweep.run );
+    ( "mc",
+      "bounded model check: protocol invariants in every reachable state + mutation check",
+      Exp_mc.run );
   ]
 
 let run_selected names full procs jobs list_only =

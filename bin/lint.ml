@@ -1,0 +1,27 @@
+(* The domain-safety lint, as a CI gate: scan library code for toplevel
+   mutable state (see Platinum_check.Lint).  Exit 1 on any finding that is
+   neither Atomic nor explicitly allow-marked.
+
+     dune exec bin/lint.exe            # scans lib/
+     dune exec bin/lint.exe -- DIR...  # scans the given trees *)
+
+module Lint = Platinum_check.Lint
+
+let () =
+  let dirs =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib" ]
+    | dirs -> dirs
+  in
+  let missing = List.filter (fun d -> not (Sys.file_exists d)) dirs in
+  if missing <> [] then begin
+    List.iter (Printf.eprintf "lint: no such path: %s\n") missing;
+    exit 2
+  end;
+  let files = List.concat_map Lint.files_under dirs in
+  let findings = Lint.scan_files files in
+  let bad = List.filter (fun f -> f.Lint.allowed = None) findings in
+  List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
+  Format.printf "lint: %d file(s), %d finding(s), %d violation(s)@." (List.length files)
+    (List.length findings) (List.length bad);
+  if bad <> [] then exit 1

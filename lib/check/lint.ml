@@ -1,0 +1,284 @@
+(* Domain-safety lint: flag toplevel mutable state in library code.
+
+   The sweep harness runs simulations on parallel domains, so a [ref], a
+   [Hashtbl.t] or any other mutable container created at module toplevel
+   is shared, unsynchronized, across domains — a data race waiting for a
+   schedule.  The rule: toplevel mutable state must be [Atomic], or carry
+   an explicit [lint: allow toplevel-state] comment documenting why it is
+   safe (e.g. a test-only knob never touched under parallelism).
+
+   This is a textual pass, not a typed one: it blanks comments and string
+   literals, then inspects every column-0 [let] binding whose
+   right-hand side is a value (not a [fun]/[function] or a binding with
+   parameters — those allocate per call, which is fine).  Heuristic by
+   design, precise enough for this codebase's ocamlformat style. *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  name : string;  (** the bound identifier *)
+  construct : string;  (** what it creates, e.g. ["ref"], ["Hashtbl.create"] *)
+  allowed : string option;
+      (** [None]: a violation.  [Some reason]: permitted — ["Atomic"] or
+          ["marker"] (an explicit [lint: allow toplevel-state] comment). *)
+}
+
+let allow_marker = "lint: allow toplevel-state"
+
+(* Mutable-container constructors worth flagging.  [Atomic.make] is
+   handled separately (allowed); [lazy] forces exactly once but the
+   forcing itself races, so it counts. *)
+let constructs =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Array.make";
+    "Array.init";
+    "Array.create_float";
+    "Buffer.create";
+    "Bytes.create";
+    "Bytes.make";
+    "Queue.create";
+    "Stack.create";
+    "Weak.create";
+    "Dynarray.create";
+    "lazy";
+  ]
+
+(* --- blanking comments and strings (structure-preserving) --- *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let in_comment = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !in_comment > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        incr in_comment;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        decr in_comment;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else if c = '"' then begin
+        (* strings nest inside comments and may contain comment closers *)
+        blank !i;
+        incr i;
+        while !i < n && src.[!i] <> '"' do
+          if src.[!i] = '\\' && !i + 1 < n then begin
+            blank !i;
+            blank (!i + 1);
+            i := !i + 2
+          end
+          else begin
+            blank !i;
+            incr i
+          end
+        done;
+        if !i < n then begin
+          blank !i;
+          incr i
+        end
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      in_comment := 1;
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      (* keep the quotes, blank the contents *)
+      incr i;
+      while !i < n && src.[!i] <> '"' do
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          blank !i;
+          incr i
+        end
+      done;
+      if !i < n then incr i
+    end
+    else if c = '{' && !i + 1 < n && src.[!i + 1] = '|' then begin
+      (* {|...|} quoted strings (the simple delimiter form) *)
+      i := !i + 2;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        if src.[!i] = '|' && !i + 1 < n && src.[!i + 1] = '}' then begin
+          i := !i + 2;
+          fin := true
+        end
+        else begin
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else if c = '\'' && !i + 2 < n && (src.[!i + 1] <> '\\' && src.[!i + 2] = '\'') then
+      (* simple char literal, e.g. '"' — don't let it open a string *)
+      i := !i + 3
+    else if c = '\'' && !i + 1 < n && src.[!i + 1] = '\\' then begin
+      (* escaped char literal: skip to the closing quote *)
+      i := !i + 2;
+      while !i < n && src.[!i] <> '\'' do incr i done;
+      if !i < n then incr i
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* --- binding structure --- *)
+
+let split_lines s = String.split_on_char '\n' s
+
+let starts_at_col0 line = String.length line > 0 && line.[0] <> ' ' && line.[0] <> '\t'
+
+let has_prefix_word line word =
+  let lw = String.length word in
+  String.length line >= lw
+  && String.sub line 0 lw = word
+  && (String.length line = lw || not (is_ident_char line.[lw]))
+
+(* Find [word] in [text] at a word boundary (neither side an identifier
+   character, and not preceded by '.': [Foo.ref] is not [ref]).  Returns
+   the character offset, or -1. *)
+let find_word text word =
+  let n = String.length text and lw = String.length word in
+  let ok_at i =
+    (i = 0 || (not (is_ident_char text.[i - 1])) && text.[i - 1] <> '.')
+    && (i + lw >= n || not (is_ident_char text.[i + lw]))
+  in
+  let rec go i =
+    if i + lw > n then -1
+    else if String.sub text i lw = word && ok_at i then i
+    else go (i + 1)
+  in
+  go 0
+
+let contains_word text word = find_word text word >= 0
+
+(* One toplevel binding: stripped lines [first, last] (0-based). *)
+let classify ~file ~raw_lines ~stripped_lines first last =
+  let text = String.concat "\n" (Array.to_list (Array.sub stripped_lines first (last - first + 1))) in
+  match String.index_opt text '=' with
+  | None -> None
+  | Some eq ->
+    let header = String.sub text 0 eq in
+    let rhs = String.sub text (eq + 1) (String.length text - eq - 1) in
+    (* Drop any type annotation from the header. *)
+    let header =
+      match String.index_opt header ':' with
+      | Some c -> String.sub header 0 c
+      | None -> header
+    in
+    let tokens =
+      String.split_on_char ' ' (String.map (fun c -> if c = '\n' || c = '\t' then ' ' else c) header)
+      |> List.filter (fun t -> t <> "" && t <> "let" && t <> "rec")
+    in
+    (match tokens with
+    | [ name ] ->
+      (* A value binding.  Functions are fine; so is anything immutable. *)
+      let rhs_trim = String.trim rhs in
+      if has_prefix_word rhs_trim "fun" || has_prefix_word rhs_trim "function" then None
+      else begin
+        let construct =
+          if contains_word rhs "Atomic.make" then Some ("Atomic.make", Some "Atomic")
+          else
+            match List.find_opt (fun c -> contains_word rhs c) constructs with
+            | Some c -> Some (c, None)
+            | None -> None
+        in
+        match construct with
+        | None -> None
+        | Some (construct, allowed) ->
+          let allowed =
+            if allowed <> None then allowed
+            else begin
+              (* an explicit marker on the binding or just above it *)
+              let lo = max 0 (first - 3) in
+              let has_marker = ref false in
+              for l = lo to min last (Array.length raw_lines - 1) do
+                let line = raw_lines.(l) in
+                let rec search i =
+                  if i + String.length allow_marker > String.length line then ()
+                  else if String.sub line i (String.length allow_marker) = allow_marker then
+                    has_marker := true
+                  else search (i + 1)
+                in
+                search 0
+              done;
+              if !has_marker then Some "marker" else None
+            end
+          in
+          Some { file; line = first + 1; name; construct; allowed }
+      end
+    | _ -> None (* parameters: a function, allocates per call *))
+
+let scan_source ~file src =
+  let stripped = strip src in
+  let raw_lines = Array.of_list (split_lines src) in
+  let stripped_lines = Array.of_list (split_lines stripped) in
+  let n = Array.length stripped_lines in
+  let findings = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let line = stripped_lines.(!i) in
+    if starts_at_col0 line && has_prefix_word line "let" then begin
+      (* the binding runs to the next column-0 line *)
+      let j = ref (!i + 1) in
+      while !j < n && not (starts_at_col0 stripped_lines.(!j)) do incr j done;
+      (match classify ~file ~raw_lines ~stripped_lines !i (!j - 1) with
+      | Some f -> findings := f :: !findings
+      | None -> ());
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !findings
+
+(* --- the filesystem driver --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.filter (fun name -> name <> "_build" && not (String.length name > 0 && name.[0] = '.'))
+    |> List.concat_map (fun name -> files_under (Filename.concat path name))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let scan_files files =
+  List.concat_map (fun file -> scan_source ~file (read_file file)) files
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: toplevel mutable state: [%s] binds %s%s" f.file f.line f.name
+    f.construct
+    (match f.allowed with
+    | None -> ""
+    | Some "Atomic" -> "  (ok: Atomic)"
+    | Some "marker" -> "  (ok: explicit allow marker)"
+    | Some r -> "  (ok: " ^ r ^ ")")

@@ -1,0 +1,43 @@
+(** Domain-safety lint: toplevel mutable state in library code.
+
+    The sweep harness ({!Platinum_runner.Par}) runs simulations on
+    parallel domains; a [ref] or [Hashtbl.t] created at module toplevel is
+    shared, unsynchronized, across all of them.  This pass blanks comments
+    and strings, then flags every column-0 [let] value binding whose
+    right-hand side constructs a mutable container — unless it is
+    [Atomic.make], or carries an explicit [lint: allow toplevel-state]
+    comment on or just above the binding.
+
+    Run it with [dune exec bin/lint.exe] (defaults to scanning [lib/]). *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  name : string;  (** the bound identifier *)
+  construct : string;  (** what it creates, e.g. ["ref"], ["Hashtbl.create"] *)
+  allowed : string option;
+      (** [None]: a violation.  [Some reason]: permitted — ["Atomic"] or
+          ["marker"] (an explicit allow comment). *)
+}
+
+val allow_marker : string
+(** The comment text that waives a finding: ["lint: allow toplevel-state"]. *)
+
+val constructs : string list
+(** The flagged constructors. *)
+
+val strip : string -> string
+(** Blank comment and string-literal contents, preserving line structure
+    (exposed for tests). *)
+
+val scan_source : file:string -> string -> finding list
+(** Lint one compilation unit's source text.  Returns all findings,
+    allowed ones included (callers decide the exit code on the
+    [allowed = None] subset). *)
+
+val files_under : string -> string list
+(** All [.ml] files under a path, recursively; skips [_build] and
+    dot-directories. *)
+
+val scan_files : string list -> finding list
+val pp_finding : Format.formatter -> finding -> unit

@@ -63,3 +63,37 @@ let invalidate t ~aspace ~vpage =
   end
 
 let size t = Hashtbl.length t.entries
+
+(* Sanitizer hooks.  [peek] is [find] without the micro-ATC mirror update:
+   the monitor must be able to ask "does this ATC still hold a translation?"
+   without perturbing the state it is checking. *)
+let peek t ~aspace ~vpage =
+  if t.aspace <> aspace then None else Hashtbl.find_opt t.entries vpage
+
+let iter f t = Hashtbl.iter f t.entries
+
+let check_faults t =
+  if t.last_vpage < 0 then
+    match t.last_entry with
+    | None -> None
+    | Some _ ->
+      Some
+        (Check.fault ~inv:"micro-atc-mirror" ~cite:"PR 1"
+           "ATC of proc %d: mirror entry with no mirror vpage" t.atc_proc)
+  else
+    match t.last_entry, Hashtbl.find_opt t.entries t.last_vpage with
+    | Some a, Some b when a == b -> None
+    | None, _ ->
+      Some
+        (Check.fault ~inv:"micro-atc-mirror" ~cite:"PR 1"
+           "ATC of proc %d: mirror vpage %d with no mirror entry" t.atc_proc t.last_vpage)
+    | Some _, None ->
+      Some
+        (Check.fault ~inv:"micro-atc-mirror" ~cite:"PR 1"
+           "ATC of proc %d: mirror caches vpage %d absent from the entry table" t.atc_proc
+           t.last_vpage)
+    | Some _, Some _ ->
+      Some
+        (Check.fault ~inv:"micro-atc-mirror" ~cite:"PR 1"
+           "ATC of proc %d: mirror disagrees with the entry table for vpage %d" t.atc_proc
+           t.last_vpage)

@@ -32,3 +32,16 @@ val invalidate : t -> aspace:int -> vpage:int -> unit
 
 val flush : t -> unit
 val size : t -> int
+
+(* --- sanitizer hooks --- *)
+
+val peek : t -> aspace:int -> vpage:int -> Pmap.entry option
+(** {!find} without the micro-ATC mirror update: a read-only probe for the
+    coherence sanitizer (checking must not perturb the checked state). *)
+
+val iter : (int -> Pmap.entry -> unit) -> t -> unit
+(** Iterate over cached (vpage, entry) translations of the active space. *)
+
+val check_faults : t -> Check.fault option
+(** The micro-ATC mirror (the PR 1 fast path) must mirror an [entries]
+    slot exactly — same vpage, physically the same entry record. *)

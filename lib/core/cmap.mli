@@ -59,3 +59,13 @@ val complete : t -> message -> proc:int -> unit
 
 val pending_messages : t -> message list
 val messages_posted : t -> int
+
+(* --- sanitizer hook --- *)
+
+val check_faults : t -> Check.fault option
+(** Aspace-level invariants, first violation wins: every refmask bit has a
+    live Pmap entry and vice versa (refmask-pmap-agreement, §3.1), every
+    translation points into its page's directory (translation-in-directory),
+    a write translation implies the page is write-mapped with a single copy
+    (write-flag-agreement / replicas-read-only, §3.2), and no Pmap entry
+    survives for an unbound vpage (stale-translation). *)

@@ -23,6 +23,7 @@ type t = {
   mutable probe : Probe.t option;
   mutable in_daemon : bool;  (* a thaw_all (defrost) pass is running *)
   mutable freeze_hook : (now:int -> Cpage.t -> unit) option;  (* defrost daemon's *)
+  mutable monitor : Check.monitor option;  (* the runtime invariant monitor *)
 }
 
 let machine t = t.machine
@@ -36,6 +37,82 @@ let mappings_of t (page : Cpage.t) =
   match Hashtbl.find_opt t.mappings page.Cpage.id with
   | None -> []
   | Some r -> !r
+
+(* --- the machine-wide invariant sweep (structured) --- *)
+
+let check_faults t =
+  let found = ref None in
+  let keep f = if !found = None then found := Some f in
+  let fail ?cpage ~inv ~cite fmt =
+    Printf.ksprintf (fun detail -> keep { Check.inv; cite; detail; cpage }) fmt
+  in
+  Hashtbl.iter
+    (fun _ (page : Cpage.t) ->
+      (match Cpage.check_faults page with Ok () -> () | Error f -> keep f);
+      (* Directory frames must be owned by this page. *)
+      List.iter
+        (fun f ->
+          if Frame.owner f <> Some page.Cpage.id then
+            fail ~cpage:page.Cpage.id ~inv:"directory-ownership" ~cite:"§2.3"
+              "directory frame on module %d not owned by this page" (Frame.mem_module f))
+        page.Cpage.copies;
+      if page.Cpage.frozen && not (List.memq page t.frozen_list) then
+        fail ~cpage:page.Cpage.id ~inv:"frozen-list-agreement" ~cite:"§4.2"
+          "frozen but not on the frozen list")
+    t.cpages;
+  List.iter
+    (fun (page : Cpage.t) ->
+      if not page.Cpage.frozen then
+        fail ~cpage:page.Cpage.id ~inv:"frozen-list-agreement" ~cite:"§4.2"
+          "thawed page still on the frozen list")
+    t.frozen_list;
+  Hashtbl.iter (fun _ cm -> match Cmap.check_faults cm with Some f -> keep f | None -> ())
+    t.cmaps;
+  (* ATC consistency: the micro-ATC mirror, and the stale-translation
+     property — every cached translation must be (physically) the live
+     Pmap entry of the active address space. *)
+  Array.iteri
+    (fun p atc ->
+      (match Atc.check_faults atc with Some f -> keep f | None -> ());
+      match Atc.active_aspace atc with
+      | None -> ()
+      | Some aspace -> (
+        match Hashtbl.find_opt t.cmaps aspace with
+        | None ->
+          fail ~inv:"stale-translation" ~cite:"§3.1" "ATC of proc %d caches unknown aspace %d"
+            p aspace
+        | Some cm ->
+          let pmap = Cmap.pmap cm ~proc:p in
+          Atc.iter
+            (fun vpage e ->
+              match Pmap.find pmap ~vpage with
+              | Some e' when e' == e -> ()
+              | Some _ ->
+                fail ~inv:"stale-translation" ~cite:"§3.1"
+                  "ATC of proc %d caches a superseded translation for vpage %d" p vpage
+              | None ->
+                fail ~inv:"stale-translation" ~cite:"§3.1"
+                  "ATC of proc %d retains vpage %d with no Pmap entry" p vpage)
+            atc))
+    t.atcs;
+  !found
+
+let check_invariants t =
+  match check_faults t with None -> Ok () | Some f -> Error (Check.render f)
+
+(* Sanitizer plumbing.  [emit] funnels every protocol event to the user
+   probe and, when the monitor is armed, into its replayable trace;
+   [checkpoint] re-verifies the whole machine.  Both are a single [match]
+   when the monitor is off, and no call site is on the ATC-hit hot path. *)
+let emit t ~now ev =
+  (match t.monitor with Some m -> Check.note m ~now (Check.Event ev) | None -> ());
+  match t.probe with Some p -> p ~now ev | None -> ()
+
+let checkpoint t ~now =
+  match t.monitor with
+  | None -> ()
+  | Some m -> (
+    match check_faults t with None -> () | Some f -> Check.raise_violation m ~now f)
 
 (* A frozen page must have exactly one backing copy (§4.2: "there can only
    be one physical page backing a frozen Cpage").  A replica can slip in
@@ -51,12 +128,11 @@ let freeze_page t ~now (page : Cpage.t) =
     t.counters.Counters.freezes <- t.counters.Counters.freezes + 1;
     t.frozen_list <- page :: t.frozen_list;
     page.Cpage.frozen_at <- now;
-    (match t.probe with
+    emit t ~now (Probe.Frozen { cpage = page.Cpage.id });
+    (match t.freeze_hook with
     | None -> ()
-    | Some p -> p ~now (Probe.Frozen { cpage = page.Cpage.id }));
-    match t.freeze_hook with
-    | None -> ()
-    | Some f -> f ~now page
+    | Some f -> f ~now page);
+    checkpoint t ~now
   end
 
 let thaw_page t ~now (page : Cpage.t) =
@@ -71,9 +147,9 @@ let thaw_page t ~now (page : Cpage.t) =
        it does not update [last_protocol_inval]. *)
     let daemon_proc = page.Cpage.home in
     let r =
-      Shootdown.run ~machine:t.machine ~counters:t.counters ~atcs:t.atcs ~now
-        ~initiator:daemon_proc ~mappings:(mappings_of t page) ~directive:Cmap.Invalidate
-        ~spare:None
+      Shootdown.run ?monitor:t.monitor ~machine:t.machine ~counters:t.counters ~atcs:t.atcs
+        ~now ~initiator:daemon_proc ~mappings:(mappings_of t page)
+        ~directive:Cmap.Invalidate ~spare:None ()
     in
     (* The daemon also drops its initiator-side bookkeeping onto its own
        processor. *)
@@ -94,9 +170,8 @@ let thaw_page t ~now (page : Cpage.t) =
     page.Cpage.write_mapped <- false;
     Cpage.sync_state page;
     page.Cpage.last_thaw_at <- now;
-    (match t.probe with
-    | None -> ()
-    | Some p -> p ~now (Probe.Thawed { cpage = page.Cpage.id; by_daemon = t.in_daemon }))
+    emit t ~now (Probe.Thawed { cpage = page.Cpage.id; by_daemon = t.in_daemon });
+    checkpoint t ~now
   end
 
 let thaw_all t ~now =
@@ -120,7 +195,18 @@ let fault_ctx t =
         policy = t.policy;
         hooks;
         mappings_of = (fun page -> mappings_of t page);
-        probe = (fun () -> t.probe);
+        (* When the monitor is armed, every probe event the fault handler
+           emits is also recorded into the replayable trace. *)
+        probe =
+          (fun () ->
+            match t.monitor with
+            | None -> t.probe
+            | Some m ->
+              Some
+                (fun ~now ev ->
+                  Check.note m ~now (Check.Event ev);
+                  match t.probe with None -> () | Some p -> p ~now ev));
+        monitor = (fun () -> t.monitor);
       }
     in
     t.fault_ctx <- Some c;
@@ -148,6 +234,8 @@ let create machine ~engine:_ ~policy ?(frames_per_module = 1024) () =
     probe = None;
     in_daemon = false;
     freeze_hook = None;
+    (* PLATINUM_CHECK=1 arms the coherence sanitizer at construction. *)
+    monitor = (if Check.env_enabled () then Some (Check.create_monitor ()) else None);
   }
 
 let new_aspace t =
@@ -181,7 +269,8 @@ let bind t cm ~vpage page rights =
       Hashtbl.replace t.mappings page.Cpage.id r;
       r
   in
-  r := (cm, vpage) :: !r
+  r := (cm, vpage) :: !r;
+  checkpoint t ~now:0
 
 let unbind t ~now cm ~vpage =
   match Cmap.find cm ~vpage with
@@ -189,8 +278,8 @@ let unbind t ~now cm ~vpage =
   | Some ce ->
     let page = ce.Cmap.cpage in
     let r =
-      Shootdown.run ~machine:t.machine ~counters:t.counters ~atcs:t.atcs ~now ~initiator:0
-        ~mappings:[ (cm, vpage) ] ~directive:Cmap.Invalidate ~spare:None
+      Shootdown.run ?monitor:t.monitor ~machine:t.machine ~counters:t.counters ~atcs:t.atcs
+        ~now ~initiator:0 ~mappings:[ (cm, vpage) ] ~directive:Cmap.Invalidate ~spare:None ()
     in
     Procset.iter
       (fun p ->
@@ -206,6 +295,7 @@ let unbind t ~now cm ~vpage =
        still owns the data); translations are simply gone. *)
     page.Cpage.write_mapped <- false;
     Cpage.sync_state page;
+    checkpoint t ~now;
     r.Shootdown.latency
 
 let activate t ~now:_ ~proc ~aspace =
@@ -242,7 +332,11 @@ let translate t ~now ~proc ~cmap:cm ~vpage ~write =
       t.counters.Counters.atc_reloads <- t.counters.Counters.atc_reloads + 1;
       (e, act + (config t).Config.atc_reload_ns)
     | _ ->
+      (match t.monitor with
+      | None -> ()
+      | Some m -> Check.note m ~now (Check.Request { proc; aspace; vpage; write }));
       let entry, lat = Fault.handle (fault_ctx t) ~now:(now + act) ~proc ~cmap:cm ~vpage ~write in
+      checkpoint t ~now:(now + act + lat);
       (entry, act + lat))
 
 (* §7: "Almost all data is cachable.  Only modified Cpages that are mapped
@@ -448,8 +542,9 @@ let collapse_to t ~now ~proc ~keep_on (page : Cpage.t) =
   | None -> !lat (* truly out of memory and no copies: nothing to do *)
   | Some keep ->
     let r =
-      Shootdown.run ~machine:t.machine ~counters:t.counters ~atcs:t.atcs ~now:(now + !lat)
-        ~initiator:proc ~mappings:(mappings_of t page) ~directive:Cmap.Invalidate ~spare:None
+      Shootdown.run ?monitor:t.monitor ~machine:t.machine ~counters:t.counters ~atcs:t.atcs
+        ~now:(now + !lat) ~initiator:proc ~mappings:(mappings_of t page)
+        ~directive:Cmap.Invalidate ~spare:None ()
     in
     lat := !lat + r.Shootdown.latency;
     List.iter
@@ -466,6 +561,10 @@ let collapse_to t ~now ~proc ~keep_on (page : Cpage.t) =
     !lat
 
 let advise t ~now ~proc ~cmap:cm ~vpage advice =
+  let sweep lat =
+    checkpoint t ~now:(now + lat);
+    lat
+  in
   let centry =
     match Cmap.find cm ~vpage with
     | Some e -> e
@@ -476,63 +575,25 @@ let advise t ~now ~proc ~cmap:cm ~vpage advice =
   match advice with
   | Advise_thaw ->
     thaw_page t ~now page;
-    cfg.Config.map_existing_ns
+    sweep cfg.Config.map_existing_ns
   | Advise_freeze ->
     if page.Cpage.frozen then 0
     else begin
       let lat = collapse_to t ~now ~proc ~keep_on:page.Cpage.home page in
       freeze_page t ~now page;
-      lat + cfg.Config.map_existing_ns
+      sweep (lat + cfg.Config.map_existing_ns)
     end
   | Advise_home m ->
     if m < 0 || m >= Machine.nprocs t.machine then invalid_arg "Coherent.advise: no such module";
     if Cpage.ncopies page = 1 && Cpage.has_copy_on page m then 0
-    else collapse_to t ~now ~proc ~keep_on:m page
+    else sweep (collapse_to t ~now ~proc ~keep_on:m page)
 
 let frozen_pages t = t.frozen_list
 let iter_cpages f t = Hashtbl.iter (fun _ p -> f p) t.cpages
 let n_cpages t = Hashtbl.length t.cpages
 
-let check_invariants t =
-  let error = ref None in
-  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
-  iter_cpages
-    (fun page ->
-      (match Cpage.check_invariants page with
-      | Ok () -> ()
-      | Error e -> fail "%s" e);
-      (* Directory frames must be owned by this page. *)
-      List.iter
-        (fun f ->
-          if Frame.owner f <> Some page.Cpage.id then
-            fail "cpage %d: directory frame not owned by page" page.Cpage.id)
-        page.Cpage.copies;
-      if page.Cpage.frozen && not (List.memq page t.frozen_list) then
-        fail "cpage %d: frozen but not on the frozen list" page.Cpage.id)
-    t;
-  Hashtbl.iter
-    (fun _ cm ->
-      Cmap.iter
-        (fun vpage ce ->
-          let page = ce.Cmap.cpage in
-          Procset.iter
-            (fun p ->
-              match Pmap.find (Cmap.pmap cm ~proc:p) ~vpage with
-              | None -> fail "aspace %d vpage %d: proc %d in refmask without Pmap entry"
-                          (Cmap.aspace cm) vpage p
-              | Some e ->
-                if not (List.memq e.Pmap.frame page.Cpage.copies) then
-                  fail "aspace %d vpage %d: proc %d maps a frame outside the directory"
-                    (Cmap.aspace cm) vpage p
-                else if e.Pmap.write_ok && not page.Cpage.write_mapped then
-                  fail "aspace %d vpage %d: proc %d holds a write translation on a non-write-mapped page"
-                    (Cmap.aspace cm) vpage p
-                else if e.Pmap.write_ok && Cpage.ncopies page > 1 then
-                  fail "aspace %d vpage %d: write translation with %d copies" (Cmap.aspace cm)
-                    vpage (Cpage.ncopies page))
-            ce.Cmap.refmask)
-        cm)
-    t.cmaps;
-  match !error with
-  | None -> Ok ()
-  | Some e -> Error e
+(* --- sanitizer access --- *)
+
+let set_monitor t m = t.monitor <- m
+let monitor t = t.monitor
+let atc t ~proc = t.atcs.(proc)

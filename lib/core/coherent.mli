@@ -155,6 +155,33 @@ val daemon_thaw : t -> now:Platinum_sim.Time_ns.t -> Cpage.t -> unit
 
 val iter_cpages : (Cpage.t -> unit) -> t -> unit
 val n_cpages : t -> int
+
+val check_faults : t -> Check.fault option
+(** Machine-wide consistency, structured: every {!Cpage} invariant
+    (via {!Check.check_page}), directory frame ownership, frozen-list
+    agreement in both directions, every {!Cmap.check_faults} (refmask ↔
+    Pmap ↔ directory agreement, replicas read-only, no stale Pmap entry),
+    and ATC hygiene (the micro-ATC mirror, and that every cached
+    translation is physically the live Pmap entry — the stale-translation
+    property, §3.1).  Returns the first fault found. *)
+
 val check_invariants : t -> (unit, string) result
-(** Machine-wide consistency: every Cpage invariant, plus agreement between
-    reference masks, Pmaps, ATCs and directories. *)
+(** [check_faults] rendered to a message, for callers that just assert. *)
+
+(* --- the coherence sanitizer (PLATINUM_CHECK=1) --- *)
+
+val monitor : t -> Check.monitor option
+
+val set_monitor : t -> Check.monitor option -> unit
+(** Arm (or disarm) the runtime invariant monitor.  [create] arms one
+    automatically when the [PLATINUM_CHECK] environment variable is set.
+    While armed: every protocol event and faulting request is recorded in
+    the monitor's bounded trace, the machine-wide sweep re-runs after
+    every completed protocol transition (fault resolution, freeze, thaw,
+    unbind, advice), shootdown completion is verified target-by-target,
+    and any violation raises {!Check.Violation} carrying the replayable
+    event prefix.  When [None] (the default) the only cost is a [None]
+    test at each transition — nothing on the ATC-hit hot path. *)
+
+val atc : t -> proc:int -> Atc.t
+(** Processor [proc]'s address-translation cache (read-only uses). *)

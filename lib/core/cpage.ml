@@ -1,7 +1,7 @@
 module Frame = Platinum_phys.Frame
 module Procset = Platinum_machine.Procset
 
-type state =
+type state = Check.page_state =
   | Empty
   | Present1
   | Present_plus
@@ -99,46 +99,29 @@ let remove_copy t frame =
   t.copies <- List.filter (fun f -> f != frame) t.copies;
   t.copy_mask <- Procset.remove m t.copy_mask
 
-let derived_state t =
-  match t.copies, t.write_mapped with
-  | [], false -> Empty
-  | [], true -> Empty (* unreachable if invariants hold *)
-  | [ _ ], true -> Modified
-  | [ _ ], false -> Present1
-  | _ :: _ :: _, _ -> Present_plus
+(* The invariant catalogue lives in {!Check}; this module only snapshots
+   itself into a view and delegates, so the runtime monitor, the model
+   checker, and these on-demand checks can never drift apart. *)
+let to_view t =
+  {
+    Check.pv_id = t.id;
+    pv_state = t.state;
+    pv_copies = t.copies;
+    pv_copy_mask = t.copy_mask;
+    pv_write_mapped = t.write_mapped;
+    pv_frozen = t.frozen;
+  }
+
+let derived_state t = Check.derived_state (to_view t)
 
 let sync_state t = t.state <- derived_state t
 
-let state_to_string = function
-  | Empty -> "empty"
-  | Present1 -> "present1"
-  | Present_plus -> "present+"
-  | Modified -> "modified"
+let state_to_string = Check.state_to_string
 
 let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
 
-let check_invariants t =
-  let err fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "cpage %d: %s" t.id s)) fmt in
-  let mask_of_list =
-    List.fold_left (fun acc f -> Procset.add (Frame.mem_module f) acc) Procset.empty t.copies
-  in
-  if not (Procset.equal mask_of_list t.copy_mask) then err "copy mask disagrees with copy list"
-  else if List.length t.copies <> Procset.cardinal t.copy_mask then
-    err "two copies share a memory module"
-  else if t.state <> derived_state t then
-    err "state %s but directory implies %s" (state_to_string t.state)
-      (state_to_string (derived_state t))
-  else if t.write_mapped && List.length t.copies > 1 then
-    err "write mapping coexists with %d copies" (List.length t.copies)
-  else if t.frozen && List.length t.copies > 1 then err "frozen page has multiple copies"
-  else begin
-    (* All read-only replicas must agree word-for-word. *)
-    match t.copies with
-    | [] | [ _ ] -> Ok ()
-    | first :: rest ->
-      if List.for_all (fun f -> Frame.equal_data first f) rest then Ok ()
-      else err "replica data differs between modules"
-  end
+let check_faults t = Check.check_page (to_view t)
+let check_invariants t = Result.map_error Check.render (check_faults t)
 
 let pp fmt t =
   Format.fprintf fmt "cpage %d%s: %a, copies=%a%s%s" t.id

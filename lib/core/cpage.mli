@@ -17,7 +17,7 @@
     [check_invariants] verifies agreement, along with replica data
     equality. *)
 
-type state =
+type state = Check.page_state =
   | Empty
   | Present1
   | Present_plus
@@ -93,9 +93,17 @@ val derived_state : t -> state
 val sync_state : t -> unit
 (** Recompute [state] from the directory (call after directory edits). *)
 
+val to_view : t -> Check.page_view
+(** Snapshot the protocol-relevant fields for the {!Check} catalogue. *)
+
+val check_faults : t -> (unit, Check.fault) result
+(** Run the {!Check.page_invariants} catalogue on this page. *)
+
 val check_invariants : t -> (unit, string) result
-(** Verify state/directory agreement, copy-mask/copy-list agreement,
-    single-copy-per-module, and data equality of replicas. *)
+(** {!check_faults} rendered to a message.  Verifies state/directory
+    agreement, copy-mask/copy-list agreement, single-copy-per-module,
+    frozen-single-copy, and data equality of replicas — delegating to the
+    one catalogue in {!Check}. *)
 
 val state_to_string : state -> string
 val pp_state : Format.formatter -> state -> unit

@@ -18,6 +18,7 @@ type ctx = {
   hooks : Policy.hooks;
   mappings_of : Cpage.t -> (Cmap.t * int) list;
   probe : unit -> Probe.t option;
+  monitor : unit -> Check.monitor option;
 }
 
 (* Allocation/mapping overhead depends on whether the Cpage metadata lives
@@ -115,8 +116,9 @@ let handle ctx ~now ~proc ~cmap ~vpage ~write =
   in
   let shootdown directive ~spare =
     let r =
-      Shootdown.run ~machine:ctx.machine ~counters:ctx.counters ~atcs:ctx.atcs ~now:(now + !lat)
-        ~initiator:proc ~mappings:(ctx.mappings_of page) ~directive ~spare
+      Shootdown.run ?monitor:(ctx.monitor ()) ~machine:ctx.machine ~counters:ctx.counters
+        ~atcs:ctx.atcs ~now:(now + !lat) ~initiator:proc ~mappings:(ctx.mappings_of page)
+        ~directive ~spare ()
     in
     lat := !lat + r.Shootdown.latency;
     r.Shootdown.interrupted

@@ -31,6 +31,9 @@ type ctx = {
   probe : unit -> Probe.t option;
       (** the instrumentation callback, consulted at call time so it can
           be installed after the system is built *)
+  monitor : unit -> Check.monitor option;
+      (** the coherence sanitizer's monitor, likewise consulted at call
+          time; shootdowns report into it when armed *)
 }
 
 val handle :

@@ -7,11 +7,18 @@ type outcome = {
   deferred : int;
 }
 
-let run ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~spare =
+(* lint: allow toplevel-state — test-only fault-injection knob, set and
+   cleared by single-domain tests/the model checker's mutation mode. *)
+let test_skip_refmask_clear = ref false
+
+let run ?monitor ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~spare () =
   let config = Machine.config machine in
   let t = ref now in
   let to_interrupt = ref Procset.empty in
   let deferred = ref 0 in
+  (* (cmap, vpage, targets) actually processed — kept only when the
+     sanitizer will verify completion below. *)
+  let processed = ref [] in
   let apply_one (cmap : Cmap.t) vpage proc =
     let pmap = Cmap.pmap cmap ~proc in
     (match directive with
@@ -55,8 +62,11 @@ let run ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~spare =
               Cmap.complete cmap msg ~proc:p)
             targets;
           (match directive with
-          | Cmap.Invalidate -> centry.Cmap.refmask <- Procset.diff centry.Cmap.refmask targets
-          | Cmap.Restrict_to_read -> ())
+          | Cmap.Invalidate ->
+            if not !test_skip_refmask_clear then
+              centry.Cmap.refmask <- Procset.diff centry.Cmap.refmask targets
+          | Cmap.Restrict_to_read -> ());
+          if monitor <> None then processed := (cmap, vpage, targets) :: !processed
         end)
     mappings;
   (* Interrupt each target once, serially; wait for all acknowledgements. *)
@@ -72,6 +82,48 @@ let run ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~spare =
       if ack > !last_ack then last_ack := ack)
     to_interrupt;
   let finish = max !t !last_ack in
+  (* The sanitizer's stale-translation check (the NUMA analogue of a TLB
+     consistency check): once the shootdown has completed, no targeted
+     processor may retain a usable translation — an Invalidate leaves
+     neither a Pmap entry nor an ATC entry behind, a Restrict leaves no
+     write permission behind. *)
+  (match monitor with
+  | None -> ()
+  | Some m ->
+    List.iter
+      (fun (cmap, vpage, targets) ->
+        let aspace = Cmap.aspace cmap in
+        Procset.iter
+          (fun p ->
+            match directive with
+            | Cmap.Invalidate -> (
+              (match Pmap.find (Cmap.pmap cmap ~proc:p) ~vpage with
+              | Some _ ->
+                Check.raise_violation m ~now:finish
+                  (Check.fault ~inv:"stale-translation" ~cite:"§3.1"
+                     "proc %d retains a Pmap entry for aspace %d vpage %d after an \
+                      invalidating shootdown"
+                     p aspace vpage)
+              | None -> ());
+              match Atc.peek atcs.(p) ~aspace ~vpage with
+              | Some _ ->
+                Check.raise_violation m ~now:finish
+                  (Check.fault ~inv:"stale-translation" ~cite:"§3.1"
+                     "ATC of proc %d retains aspace %d vpage %d after an invalidating \
+                      shootdown"
+                     p aspace vpage)
+              | None -> ())
+            | Cmap.Restrict_to_read -> (
+              match Pmap.find (Cmap.pmap cmap ~proc:p) ~vpage with
+              | Some e when e.Pmap.write_ok ->
+                Check.raise_violation m ~now:finish
+                  (Check.fault ~inv:"stale-translation" ~cite:"§3.1"
+                     "proc %d retains write permission on aspace %d vpage %d after a \
+                      restricting shootdown"
+                     p aspace vpage)
+              | Some _ | None -> ()))
+          targets)
+      !processed);
   let n_int = Procset.cardinal to_interrupt in
   counters.Counters.shootdowns <- counters.Counters.shootdowns + 1;
   counters.Counters.interrupts <- counters.Counters.interrupts + n_int;

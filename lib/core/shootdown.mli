@@ -29,6 +29,7 @@ type outcome = {
 }
 
 val run :
+  ?monitor:Check.monitor ->
   machine:Platinum_machine.Machine.t ->
   counters:Counters.t ->
   atcs:Atc.t array ->
@@ -37,8 +38,23 @@ val run :
   mappings:(Cmap.t * int) list ->
   directive:Cmap.directive ->
   spare:(Cmap.t * int) option ->
+  unit ->
   outcome
-(** [run ~mappings ~directive ~spare] executes one shootdown over every
+(** [run ~mappings ~directive ~spare ()] executes one shootdown over every
     (cmap, vpage) at which the page is mapped.  [spare], when given,
     identifies the one translation that must survive an [Invalidate] — the
-    initiator's own mapping in the faulting address space. *)
+    initiator's own mapping in the faulting address space.
+
+    With [monitor], the sanitizer's stale-translation check runs on
+    completion: no targeted processor may retain a Pmap or ATC translation
+    after an [Invalidate], nor write permission after a
+    [Restrict_to_read] (§3.1; the NUMA analogue of numaPTE's
+    TLB-consistency property).  Violations raise {!Check.Violation}. *)
+
+val test_skip_refmask_clear : bool ref
+(** Fault injection for the sanitizer's own tests and the model checker's
+    mutation mode: when set, an [Invalidate] "forgets" to clear the
+    processed targets from the reference mask — the deliberately broken
+    transition that the invariant monitor must catch (it trips
+    refmask-pmap-agreement on the next sweep).  Always [false] outside
+    tests. *)

@@ -1,0 +1,472 @@
+(* The coherence sanitizer (PR 3): the invariant catalogue, the runtime
+   monitor, the bounded model checker and the domain-safety lint. *)
+
+module Config = Platinum_machine.Config
+module Machine = Platinum_machine.Machine
+module Procset = Platinum_machine.Procset
+module Frame = Platinum_phys.Frame
+module Engine = Platinum_sim.Engine
+module Ring = Platinum_sim.Ring
+module Rights = Platinum_core.Rights
+module Check = Platinum_core.Check
+module Cpage = Platinum_core.Cpage
+module Pmap = Platinum_core.Pmap
+module Atc = Platinum_core.Atc
+module Cmap = Platinum_core.Cmap
+module Policy = Platinum_core.Policy
+module Shootdown = Platinum_core.Shootdown
+module Coherent = Platinum_core.Coherent
+module Mc = Platinum_check.Mc
+module Lint = Platinum_check.Lint
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- helpers --- *)
+
+type env = {
+  coh : Coherent.t;
+  cm : Cmap.t;
+}
+
+let mk ?(nprocs = 4) ?(page_words = 8) ?(frames = 16) ?(monitored = false) () =
+  let config = Config.butterfly_plus ~nprocs ~page_words () in
+  let policy =
+    Policy.make ~t1:config.Config.t1_freeze_window (Policy.Platinum { thaw_on_fault = false })
+  in
+  let engine = Engine.create () in
+  let machine = Machine.create config in
+  let coh = Coherent.create machine ~engine ~policy ~frames_per_module:frames () in
+  if monitored then Coherent.set_monitor coh (Some (Check.create_monitor ()));
+  let cm = Coherent.new_aspace coh in
+  { coh; cm }
+
+let bind_pages env n =
+  Array.init n (fun vpage ->
+      let page = Coherent.new_cpage env.coh ~label:(Printf.sprintf "page%d" vpage) () in
+      Coherent.bind env.coh env.cm ~vpage page Rights.Read_write;
+      page)
+
+let read env ?(now = 0) ~proc vaddr = Coherent.read_word env.coh ~now ~proc ~cmap:env.cm ~vaddr
+let write env ?(now = 0) ~proc vaddr v = Coherent.write_word env.coh ~now ~proc ~cmap:env.cm ~vaddr v
+
+let frame ?(mem_module = 0) ?(index = 0) ?(words = 4) () = Frame.create ~mem_module ~index ~words
+
+(* A consistent single-copy view to corrupt per test. *)
+let base_view ?(state = Check.Present1) ?copies ?copy_mask ?(write_mapped = false)
+    ?(frozen = false) () =
+  let copies = match copies with Some c -> c | None -> [ frame () ] in
+  let copy_mask =
+    match copy_mask with
+    | Some m -> m
+    | None -> Procset.of_list (List.map Frame.mem_module copies)
+  in
+  { Check.pv_id = 7; pv_state = state; pv_copies = copies; pv_copy_mask = copy_mask;
+    pv_write_mapped = write_mapped; pv_frozen = frozen }
+
+let expect_inv name view =
+  match Check.check_page view with
+  | Ok () -> Alcotest.failf "expected %s violation, page checked clean" name
+  | Error f ->
+    Alcotest.(check string) "invariant name" name f.Check.inv;
+    Alcotest.(check bool) "message mentions the page" true
+      (f.Check.cpage = Some view.Check.pv_id);
+    (* the rendered message carries name and citation *)
+    let msg = Check.render f in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "render has invariant name" true (contains msg name);
+    Alcotest.(check bool) "render has citation" true (contains msg f.Check.cite)
+
+(* --- the page-level invariant catalogue: each failure mode, by message --- *)
+
+let test_clean_views () =
+  List.iter
+    (fun v ->
+      match Check.check_page v with
+      | Ok () -> ()
+      | Error f -> Alcotest.failf "clean view rejected: %s" (Check.render f))
+    [
+      base_view ~state:Check.Empty ~copies:[] ();
+      base_view ();
+      base_view ~state:Check.Modified ~write_mapped:true ();
+      base_view ~state:Check.Present_plus
+        ~copies:[ frame ~mem_module:0 (); frame ~mem_module:1 () ]
+        ();
+      base_view ~frozen:true ();
+    ]
+
+let test_mask_list_agreement () =
+  expect_inv "mask-list-agreement" (base_view ~copy_mask:(Procset.of_list [ 1 ]) ());
+  expect_inv "mask-list-agreement" (base_view ~copy_mask:(Procset.of_list [ 0; 1 ]) ())
+
+let test_one_copy_per_module () =
+  expect_inv "one-copy-per-module"
+    (base_view ~state:Check.Present_plus
+       ~copies:[ frame ~mem_module:2 ~index:0 (); frame ~mem_module:2 ~index:1 () ]
+       ~copy_mask:(Procset.of_list [ 2 ]) ())
+
+let test_state_agreement () =
+  expect_inv "state-agreement"
+    (base_view ~state:Check.Present_plus ());
+  expect_inv "state-agreement" (base_view ~state:Check.Modified ());
+  expect_inv "state-agreement" (base_view ~state:Check.Empty ())
+
+let test_single_writer () =
+  expect_inv "single-writer"
+    (base_view ~state:Check.Present_plus
+       ~copies:[ frame ~mem_module:0 (); frame ~mem_module:1 () ]
+       ~write_mapped:true ())
+
+let test_frozen_single_copy () =
+  expect_inv "frozen-single-copy"
+    (base_view ~state:Check.Present_plus
+       ~copies:[ frame ~mem_module:0 (); frame ~mem_module:1 () ]
+       ~frozen:true ())
+
+let test_replica_coherence () =
+  let f0 = frame ~mem_module:0 () and f1 = frame ~mem_module:1 () in
+  Frame.set f1 2 42;
+  expect_inv "replica-coherence"
+    (base_view ~state:Check.Present_plus ~copies:[ f0; f1 ] ())
+
+let test_catalogue_documented () =
+  List.iter
+    (fun pi ->
+      Alcotest.(check bool)
+        (pi.Check.pi_name ^ " documented") true
+        (String.length pi.Check.pi_doc > 0 && String.length pi.Check.pi_cite > 0))
+    Check.page_invariants
+
+(* --- delegation: Cpage's checker IS the catalogue --- *)
+
+let test_cpage_delegates () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  let _ = read env ~proc:1 0 in
+  (* healthy page: both agree it is fine *)
+  Alcotest.(check bool) "cpage ok" true (Cpage.check_invariants pages.(0) = Ok ());
+  (* corrupt the stored state: both notice, with the same structured fault *)
+  pages.(0).Cpage.state <- Cpage.Modified;
+  (match Cpage.check_faults pages.(0) with
+  | Ok () -> Alcotest.fail "corruption missed"
+  | Error f ->
+    Alcotest.(check string) "via the catalogue" "state-agreement" f.Check.inv;
+    (match Check.check_page (Cpage.to_view pages.(0)) with
+    | Ok () -> Alcotest.fail "view checker disagrees"
+    | Error f' -> Alcotest.(check string) "same fault" (Check.render f) (Check.render f')));
+  Cpage.sync_state pages.(0)
+
+(* --- machine-wide structured faults --- *)
+
+let test_cmap_refmask_pmap () =
+  let env = mk () in
+  let _ = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  (* claim proc 2 holds a translation it does not have *)
+  (match Cmap.find env.cm ~vpage:0 with
+  | None -> Alcotest.fail "unbound"
+  | Some ce -> ce.Cmap.refmask <- Procset.add 2 ce.Cmap.refmask);
+  match Coherent.check_faults env.coh with
+  | None -> Alcotest.fail "corruption missed"
+  | Some f -> Alcotest.(check string) "inv" "refmask-pmap-agreement" f.Check.inv
+
+let test_cmap_stale_pmap_entry () =
+  let env = mk () in
+  let _ = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  (* a Pmap entry for a processor the refmask does not know about *)
+  let e = Pmap.find (Cmap.pmap env.cm ~proc:0) ~vpage:0 in
+  let frame = (Option.get e).Pmap.frame in
+  ignore (Pmap.install (Cmap.pmap env.cm ~proc:3) ~vpage:0 ~frame ~write_ok:false);
+  match Coherent.check_faults env.coh with
+  | None -> Alcotest.fail "corruption missed"
+  | Some f -> Alcotest.(check string) "inv" "refmask-pmap-agreement" f.Check.inv
+
+let test_replicas_read_only () =
+  let env = mk () in
+  let _ = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  let _ = read env ~now:10_000_000 ~proc:1 0 in
+  (* two copies now; grant an illegal write translation *)
+  (match Pmap.find (Cmap.pmap env.cm ~proc:0) ~vpage:0 with
+  | None -> Alcotest.fail "no translation"
+  | Some e -> e.Pmap.write_ok <- true);
+  match Coherent.check_faults env.coh with
+  | None -> Alcotest.fail "corruption missed"
+  | Some f ->
+    Alcotest.(check bool) "replicas imply read-only mappings" true
+      (f.Check.inv = "replicas-read-only" || f.Check.inv = "write-flag-agreement")
+
+let test_stale_atc () =
+  let env = mk () in
+  let _ = bind_pages env 1 in
+  let _ = read env ~proc:0 0 in
+  (* drop the Pmap entry behind the ATC's back: the cached translation is
+     now stale — exactly what a missed shootdown would leave behind *)
+  Pmap.remove (Cmap.pmap env.cm ~proc:0) ~vpage:0;
+  (match Cmap.find env.cm ~vpage:0 with
+  | None -> ()
+  | Some ce -> ce.Cmap.refmask <- Procset.remove 0 ce.Cmap.refmask);
+  match Coherent.check_faults env.coh with
+  | None -> Alcotest.fail "stale ATC entry missed"
+  | Some f -> Alcotest.(check string) "inv" "stale-translation" f.Check.inv
+
+let test_frozen_list_agreement () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  let _ = write env ~proc:0 0 1 in
+  pages.(0).Cpage.frozen <- true (* frozen flag without list membership *);
+  (match Coherent.check_faults env.coh with
+  | None -> Alcotest.fail "corruption missed"
+  | Some f -> Alcotest.(check string) "inv" "frozen-list-agreement" f.Check.inv);
+  pages.(0).Cpage.frozen <- false
+
+(* --- the runtime monitor --- *)
+
+let test_monitor_silent_on_healthy_run () =
+  let env = mk ~monitored:true () in
+  let _ = bind_pages env 2 in
+  (* reads, writes, migration, replication, freeze, thaw, daemon *)
+  let _ = write env ~proc:0 0 1 in
+  let _ = read env ~now:1_000_000 ~proc:1 0 in
+  let _ = write env ~now:2_000_000 ~proc:1 0 2 in
+  let _ = write env ~now:3_000_000 ~proc:2 8 3 in
+  let _ = read env ~now:4_000_000 ~proc:3 8 in
+  ignore (Coherent.advise env.coh ~now:5_000_000 ~proc:0 ~cmap:env.cm ~vpage:0 Coherent.Advise_freeze);
+  ignore (Coherent.advise env.coh ~now:6_000_000 ~proc:0 ~cmap:env.cm ~vpage:0 Coherent.Advise_thaw);
+  Coherent.thaw_all env.coh ~now:7_000_000;
+  ignore (Coherent.unbind env.coh ~now:8_000_000 env.cm ~vpage:1);
+  (* the trace recorded the activity *)
+  match Coherent.monitor env.coh with
+  | None -> Alcotest.fail "monitor not installed"
+  | Some m -> Alcotest.(check bool) "trace non-empty" true (Check.trace m <> [])
+
+let test_monitor_catches_seeded_mutation () =
+  (* The satellite regression: with the deliberately broken transition
+     (write-invalidate forgets to clear the reference mask), the monitor
+     must raise on the very next sweep — and the violation must carry a
+     replayable event prefix. *)
+  let env = mk ~monitored:true () in
+  let _ = bind_pages env 1 in
+  Fun.protect
+    ~finally:(fun () -> Shootdown.test_skip_refmask_clear := false)
+    (fun () ->
+      Shootdown.test_skip_refmask_clear := true;
+      let _ = write env ~proc:0 0 1 in
+      let _ = read env ~now:1_000_000 ~proc:1 0 in
+      match write env ~now:2_000_000 ~proc:0 0 2 with
+      | _ -> Alcotest.fail "seeded mutation not caught"
+      | exception Check.Violation v ->
+        Alcotest.(check string) "inv" "refmask-pmap-agreement" v.Check.v_fault.Check.inv;
+        Alcotest.(check bool) "replayable prefix present" true (v.Check.v_trace <> []);
+        let msg = Check.violation_message v in
+        Alcotest.(check bool) "message cites the paper" true
+          (String.length msg > 0 && v.Check.v_fault.Check.cite = "§3.1"))
+
+let test_monitor_trace_is_bounded () =
+  let m = Check.create_monitor ~capacity:4 () in
+  for i = 1 to 10 do
+    Check.note m ~now:i (Check.Request { proc = 0; aspace = 0; vpage = i; write = false })
+  done;
+  let tr = Check.trace m in
+  Alcotest.(check int) "bounded" 4 (List.length tr);
+  (* oldest first, and the oldest retained entry is #7 of 10 *)
+  Alcotest.(check (list int)) "kept the newest, in order" [ 7; 8; 9; 10 ]
+    (List.map fst tr)
+
+let test_ring () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Ring.length r);
+  List.iter (fun i -> Ring.push r i) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "capped" 3 (Ring.length r);
+  Alcotest.(check int) "total pushes counted" 5 (Ring.pushed r);
+  Alcotest.(check (list int)) "oldest first" [ 3; 4; 5 ] (Ring.to_list r);
+  Ring.clear r;
+  Alcotest.(check (list int)) "cleared" [] (Ring.to_list r)
+
+let test_env_enabled () =
+  (* documented parsing: unset / "" / "0" are off, anything else is on —
+     we can only exercise the current process state here *)
+  let expected =
+    match Sys.getenv_opt "PLATINUM_CHECK" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  Alcotest.(check bool) "env parsing" expected (Check.env_enabled ())
+
+(* --- the model checker --- *)
+
+let test_mc_replay_deterministic () =
+  let ops = [ Mc.Write { proc = 0; page = 0 }; Mc.Read { proc = 1; page = 0 };
+              Mc.Freeze { page = 0 }; Mc.Daemon_thaw; Mc.Write { proc = 1; page = 0 } ]
+  in
+  match Mc.replay ~nprocs:2 ~npages:1 ops, Mc.replay ~nprocs:2 ~npages:1 ops with
+  | Ok a, Ok b -> Alcotest.(check string) "same fingerprint" a b
+  | Error e, _ | _, Error e -> Alcotest.failf "replay failed: %s" e
+
+let test_mc_explores_clean () =
+  let r = Mc.explore ~nprocs:2 ~npages:1 ~depth:4 () in
+  Alcotest.(check int) "no violations" 0 r.Mc.total_violations;
+  Alcotest.(check bool) "non-trivial state count" true (r.Mc.states > 10);
+  Alcotest.(check bool) "not truncated" true (not r.Mc.truncated);
+  (* depth-0 state is counted *)
+  Alcotest.(check int) "root state" 1 r.Mc.states_at_depth.(0)
+
+let test_mc_catches_mutation () =
+  let r = Mc.explore ~mutate:true ~nprocs:2 ~npages:1 ~depth:4 () in
+  Alcotest.(check bool) "seeded bug found" true (r.Mc.total_violations > 0);
+  Alcotest.(check bool) "counterexamples reported" true (r.Mc.violations <> []);
+  (* and the knob was restored *)
+  Alcotest.(check bool) "knob restored" false !Shootdown.test_skip_refmask_clear;
+  (* every counterexample replays to the same violation *)
+  List.iter
+    (fun cx ->
+      Fun.protect
+        ~finally:(fun () -> Shootdown.test_skip_refmask_clear := false)
+        (fun () ->
+          Shootdown.test_skip_refmask_clear := true;
+          match Mc.replay ~nprocs:2 ~npages:1 cx.Mc.cx_ops with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "counterexample [%s] no longer fails"
+                      (Mc.ops_to_string cx.Mc.cx_ops)))
+    r.Mc.violations
+
+(* QCheck: on random request sequences the monitor stays silent and reads
+   are sequentially consistent (Mc.replay checks both; 2 procs, 1 page). *)
+let prop_random_sequences_clean =
+  let op_gen =
+    let cat = Array.of_list (Mc.catalogue ~nprocs:2 ~npages:1) in
+    QCheck.Gen.(map (fun i -> cat.(i)) (int_bound (Array.length cat - 1)))
+  in
+  let ops_arb =
+    QCheck.make
+      ~print:(fun ops -> Mc.ops_to_string ops)
+      QCheck.Gen.(list_size (int_bound 12) op_gen)
+  in
+  QCheck.Test.make ~name:"monitor silent + reads SC on random sequences" ~count:100 ops_arb
+    (fun ops ->
+      match Mc.replay ~nprocs:2 ~npages:1 ops with
+      | Ok _ -> true
+      | Error e -> QCheck.Test.fail_reportf "violation on [%s]: %s" (Mc.ops_to_string ops) e)
+
+(* --- the domain-safety lint --- *)
+
+let lint_src = Lint.scan_source ~file:"test.ml"
+
+let test_lint_flags_toplevel_refs () =
+  let findings =
+    lint_src
+      "let counter = ref 0\n\
+       let table = Hashtbl.create 16\n\
+       let buf = Buffer.create 80\n\
+       let scratch = Array.make 4 0\n"
+  in
+  Alcotest.(check (list string)) "all flagged"
+    [ "counter:ref"; "table:Hashtbl.create"; "buf:Buffer.create"; "scratch:Array.make" ]
+    (List.map (fun f -> f.Lint.name ^ ":" ^ f.Lint.construct) findings);
+  Alcotest.(check bool) "all violations" true
+    (List.for_all (fun f -> f.Lint.allowed = None) findings)
+
+let test_lint_allows_functions_and_values () =
+  let findings =
+    lint_src
+      "let make () = ref 0\n\
+       let find tbl k = Hashtbl.create k\n\
+       let f = fun x -> ref x\n\
+       let g = function None -> ref 0 | Some r -> r\n\
+       let answer = 42\n\
+       let pair = (1, 2)\n\
+       let indented_is_local =\n\
+      \  let r = ref 0 in\n\
+      \  !r\n"
+  in
+  (* [indented_is_local] binds a ref inside its body — still a fresh one
+     per evaluation of the toplevel binding; it IS retained state.  The
+     lint flags it: the rhs is a value and mentions [ref]. *)
+  Alcotest.(check (list string)) "only the retained ref" [ "indented_is_local:ref" ]
+    (List.map (fun f -> f.Lint.name ^ ":" ^ f.Lint.construct) findings)
+
+let test_lint_allows_atomic_and_marker () =
+  let findings =
+    lint_src
+      "let next_id = Atomic.make 0\n\
+       \n\
+       (* lint: allow toplevel-state -- single-domain test knob *)\n\
+       let knob = ref false\n"
+  in
+  Alcotest.(check (list string)) "both allowed"
+    [ "next_id:Atomic"; "knob:marker" ]
+    (List.map
+       (fun f -> f.Lint.name ^ ":" ^ Option.value ~default:"VIOLATION" f.Lint.allowed)
+       findings)
+
+let test_lint_ignores_comments_and_strings () =
+  let findings =
+    lint_src
+      "(* let bad = ref 0 *)\n\
+       let s = \"Hashtbl.create 16\"\n\
+       let doc = \"a ref in a string\"\n\
+       (* nested (* ref *) comment *)\n\
+       let ok = 1\n"
+  in
+  Alcotest.(check int) "nothing flagged" 0 (List.length findings)
+
+let test_lint_strip_preserves_lines () =
+  let src = "let a = 1 (* a\n   multiline\n   comment *)\nlet b = \"x\\ny\"\n" in
+  let stripped = Lint.strip src in
+  Alcotest.(check int) "same line count"
+    (List.length (String.split_on_char '\n' src))
+    (List.length (String.split_on_char '\n' stripped));
+  Alcotest.(check bool) "comment text gone" false
+    (let has sub s =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     has "multiline" stripped)
+
+let test_lint_repo_is_clean () =
+  (* the satellite gate, as a test: the library tree has no unmarked
+     toplevel mutable state *)
+  let files = Lint.files_under "../lib" in
+  Alcotest.(check bool) "found the library sources" true (List.length files > 30);
+  let bad = List.filter (fun f -> f.Lint.allowed = None) (Lint.scan_files files) in
+  List.iter (fun f -> Format.eprintf "%a@." Lint.pp_finding f) bad;
+  Alcotest.(check int) "no violations in lib/" 0 (List.length bad)
+
+let suite =
+  [
+    ("catalogue: clean views pass", `Quick, test_clean_views);
+    ("catalogue: mask-list-agreement", `Quick, test_mask_list_agreement);
+    ("catalogue: one-copy-per-module", `Quick, test_one_copy_per_module);
+    ("catalogue: state-agreement", `Quick, test_state_agreement);
+    ("catalogue: single-writer", `Quick, test_single_writer);
+    ("catalogue: frozen-single-copy", `Quick, test_frozen_single_copy);
+    ("catalogue: replica-coherence", `Quick, test_replica_coherence);
+    ("catalogue: every invariant documented", `Quick, test_catalogue_documented);
+    ("delegation: Cpage checks via the catalogue", `Quick, test_cpage_delegates);
+    ("machine: refmask without Pmap entry", `Quick, test_cmap_refmask_pmap);
+    ("machine: Pmap entry outside refmask", `Quick, test_cmap_stale_pmap_entry);
+    ("machine: replicas imply read-only mappings", `Quick, test_replicas_read_only);
+    ("machine: stale ATC translation", `Quick, test_stale_atc);
+    ("machine: frozen-list agreement", `Quick, test_frozen_list_agreement);
+    ("monitor: silent on a healthy run", `Quick, test_monitor_silent_on_healthy_run);
+    ("monitor: catches the seeded mutation", `Quick, test_monitor_catches_seeded_mutation);
+    ("monitor: trace is bounded", `Quick, test_monitor_trace_is_bounded);
+    ("monitor: ring buffer", `Quick, test_ring);
+    ("monitor: PLATINUM_CHECK parsing", `Quick, test_env_enabled);
+    ("mc: replay is deterministic", `Quick, test_mc_replay_deterministic);
+    ("mc: clean exploration", `Quick, test_mc_explores_clean);
+    ("mc: mutation is caught", `Quick, test_mc_catches_mutation);
+    qtest prop_random_sequences_clean;
+    ("lint: flags toplevel mutable state", `Quick, test_lint_flags_toplevel_refs);
+    ("lint: functions and plain values pass", `Quick, test_lint_allows_functions_and_values);
+    ("lint: Atomic and marker allowed", `Quick, test_lint_allows_atomic_and_marker);
+    ("lint: comments and strings ignored", `Quick, test_lint_ignores_comments_and_strings);
+    ("lint: strip preserves line structure", `Quick, test_lint_strip_preserves_lines);
+    ("lint: the library tree is clean", `Quick, test_lint_repo_is_clean);
+  ]
