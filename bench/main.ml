@@ -33,6 +33,10 @@ let experiments : (string * string * (Exp_common.scale -> unit)) list =
     ( "mc",
       "bounded model check: protocol invariants in every reachable state + mutation check",
       Exp_mc.run );
+    ( "soak",
+      "fault-injection soak: workloads correct + deterministic under faults (emits \
+       BENCH_soak.json)",
+      Exp_soak.run );
   ]
 
 let run_selected names full procs jobs list_only =

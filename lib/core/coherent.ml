@@ -391,6 +391,40 @@ let submit t ~now ~proc ~cmap:cm txn =
   let cfg = config t in
   let modules = Machine.modules t.machine in
   let pw = page_words t in
+  let inj = Machine.inject t.machine in
+  (* Latency of an n-word hardware transfer chunk under fault injection: an
+     aborted transfer charges the partial run it burned, then is retried;
+     the adversary is bounded — after [max_copy_retries] aborts the final
+     attempt always completes, so a transaction never fails, it only takes
+     longer.  Without a plane this is exactly one Xbar access. *)
+  let block_xfer ~now ~mem_module kind ~words =
+    match inj with
+    | None -> Xbar.access cfg modules ~now ~proc ~mem_module kind ~words
+    | Some i ->
+      let extra = ref 0 in
+      let rec go attempt =
+        let aborted =
+          if attempt >= Platinum_sim.Inject.max_copy_retries i then None
+          else Platinum_sim.Inject.block_abort i ~words
+        in
+        match aborted with
+        | None ->
+          let l =
+            Xbar.access ~inject:i cfg modules ~now:(now + !extra) ~proc ~mem_module kind
+              ~words
+          in
+          if !extra > 0 then Platinum_sim.Inject.note_recovery i !extra;
+          !extra + l
+        | Some w ->
+          extra :=
+            !extra
+            + Xbar.access ~inject:i cfg modules ~now:(now + !extra) ~proc ~mem_module kind
+                ~words:w;
+          Platinum_sim.Inject.note_copy_retry i;
+          go (attempt + 1)
+      in
+      go 0
+  in
   let chunk_cost ~now ~data (c : Memtxn.chunk) =
     let vaddr = c.Memtxn.c_vaddr in
     let vpage = vaddr / pw and off = vaddr mod pw in
@@ -409,7 +443,7 @@ let submit t ~now ~proc ~cmap:cm txn =
         l1 + cfg.Config.t_cache_hit
       | (`Miss _ | `No_cache) as m ->
         let l2 =
-          Xbar.word_access cfg modules ~now:(now + l1) ~proc
+          Xbar.word_access ?inject:inj cfg modules ~now:(now + l1) ~proc
             ~mem_module:(Frame.mem_module frame) Xbar.Read
         in
         (match m with
@@ -421,7 +455,7 @@ let submit t ~now ~proc ~cmap:cm txn =
       let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
       let frame = entry.Pmap.frame in
       let l2 =
-        Xbar.word_access cfg modules ~now:(now + l1) ~proc
+        Xbar.word_access ?inject:inj cfg modules ~now:(now + l1) ~proc
           ~mem_module:(Frame.mem_module frame) Xbar.Write
       in
       Frame.set frame off data.(0);
@@ -433,7 +467,7 @@ let submit t ~now ~proc ~cmap:cm txn =
       let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
       let frame = entry.Pmap.frame in
       let l2 =
-        Xbar.word_access cfg modules ~now:(now + l1) ~proc
+        Xbar.word_access ?inject:inj cfg modules ~now:(now + l1) ~proc
           ~mem_module:(Frame.mem_module frame) Xbar.Rmw
       in
       let old = Frame.get frame off in
@@ -447,8 +481,8 @@ let submit t ~now ~proc ~cmap:cm txn =
       let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
       let frame = entry.Pmap.frame in
       let l2 =
-        Xbar.access cfg modules ~now:(now + l1) ~proc
-          ~mem_module:(Frame.mem_module frame) Xbar.Read ~words:c.Memtxn.c_words
+        block_xfer ~now:(now + l1) ~mem_module:(Frame.mem_module frame) Xbar.Read
+          ~words:c.Memtxn.c_words
       in
       for i = 0 to c.Memtxn.c_words - 1 do
         data.(c.Memtxn.c_index + i) <- Frame.get frame (off + i)
@@ -458,8 +492,8 @@ let submit t ~now ~proc ~cmap:cm txn =
       let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
       let frame = entry.Pmap.frame in
       let l2 =
-        Xbar.access cfg modules ~now:(now + l1) ~proc
-          ~mem_module:(Frame.mem_module frame) Xbar.Write ~words:c.Memtxn.c_words
+        block_xfer ~now:(now + l1) ~mem_module:(Frame.mem_module frame) Xbar.Write
+          ~words:c.Memtxn.c_words
       in
       for i = 0 to c.Memtxn.c_words - 1 do
         Frame.set frame (off + i) data.(c.Memtxn.c_index + i)
@@ -520,10 +554,11 @@ let collapse_to t ~now ~proc ~keep_on (page : Cpage.t) =
       | None -> (match page.Cpage.copies with [] -> None | f :: _ -> Some f)
       | Some fresh ->
         lat := !lat + cfg.Config.alloc_map_remote_ns;
+        let inj = Machine.inject t.machine in
         if Cpage.ncopies page = 0 then begin
           lat :=
             !lat
-            + Xbar.zero_fill cfg (Machine.modules t.machine) ~now:(now + !lat)
+            + Xbar.zero_fill ?inject:inj cfg (Machine.modules t.machine) ~now:(now + !lat)
                 ~dst:keep_on ~words:(page_words t);
           Frame.fill_zero fresh
         end
@@ -531,7 +566,7 @@ let collapse_to t ~now ~proc ~keep_on (page : Cpage.t) =
           let src = Cpage.any_copy page in
           lat :=
             !lat
-            + Xbar.block_copy cfg (Machine.modules t.machine) ~now:(now + !lat)
+            + Xbar.block_copy ?inject:inj cfg (Machine.modules t.machine) ~now:(now + !lat)
                 ~src:(Frame.mem_module src) ~dst:keep_on ~words:(page_words t);
           Frame.blit_from ~src ~dst:fresh
         end;

@@ -99,20 +99,65 @@ let handle ctx ~now ~proc ~cmap ~vpage ~write =
       Some f
     | None -> None
   in
+  let inj = Machine.inject ctx.machine in
+  (* Copy the page into [dst]; [false] means the block transfer aborted
+     repeatedly (fault injection) and the caller must degrade.  Each abort
+     still charges the partial occupancy it burned before failing.  Without
+     an attached plane this is exactly the single fault-free transfer. *)
   let block_copy_into ~dst =
     let src = Cpage.any_copy page in
     let words = Phys_mem.page_words ctx.phys in
     let uncontended = words * config.Config.t_block_word in
-    let clat =
-      Xbar.block_copy config (Machine.modules ctx.machine) ~now:(now + !lat)
-        ~src:(Frame.mem_module src) ~dst:(Frame.mem_module dst) ~words
+    let charge w =
+      let clat =
+        Xbar.block_copy ?inject:inj config (Machine.modules ctx.machine) ~now:(now + !lat)
+          ~src:(Frame.mem_module src) ~dst:(Frame.mem_module dst) ~words:w
+      in
+      lat := !lat + clat;
+      ctx.counters.Counters.copy_ns <- ctx.counters.Counters.copy_ns + clat;
+      clat
     in
-    Frame.blit_from ~src ~dst;
-    lat := !lat + clat;
-    ctx.counters.Counters.copy_ns <- ctx.counters.Counters.copy_ns + clat;
-    (* Queueing beyond the raw transfer is the paper's per-page "contention
-       in the Cpage fault handler" measure. *)
-    st.Cpage.fault_wait_ns <- st.Cpage.fault_wait_ns + (clat - uncontended)
+    let complete () =
+      let clat = charge words in
+      Frame.blit_from ~src ~dst;
+      (* Queueing beyond the raw transfer is the paper's per-page "contention
+         in the Cpage fault handler" measure. *)
+      st.Cpage.fault_wait_ns <- st.Cpage.fault_wait_ns + (clat - uncontended)
+    in
+    match inj with
+    | None ->
+      complete ();
+      true
+    | Some inj ->
+      let extra = ref 0 in
+      let rec go attempt =
+        match Platinum_sim.Inject.block_abort inj ~words with
+        | None ->
+          complete ();
+          if !extra > 0 then Platinum_sim.Inject.note_recovery inj !extra;
+          true
+        | Some w ->
+          extra := !extra + charge w;
+          if attempt >= Platinum_sim.Inject.max_copy_retries inj then begin
+            Platinum_sim.Inject.note_recovery inj !extra;
+            false
+          end
+          else begin
+            Platinum_sim.Inject.note_copy_retry inj;
+            go (attempt + 1)
+          end
+      in
+      go 0
+  in
+  (* Degradation after repeated aborts: abandon the destination frame and
+     pin the page where it already lives by freezing it in place — the
+     paper's own escape hatch for pages not worth moving (§4.2).  Freezing
+     declines unless the directory is down to one copy, in which case the
+     page simply stays remote-mapped. *)
+  let abandon_frame frame =
+    Phys_mem.free ctx.phys frame;
+    ctx.counters.Counters.pages_freed <- ctx.counters.Counters.pages_freed + 1;
+    lat := !lat + config.Config.page_free_ns
   in
   let shootdown directive ~spare =
     let r =
@@ -173,7 +218,7 @@ let handle ctx ~now ~proc ~cmap ~vpage ~write =
       let words = Phys_mem.page_words ctx.phys in
       lat :=
         !lat
-        + Xbar.zero_fill config (Machine.modules ctx.machine) ~now:(now + !lat)
+        + Xbar.zero_fill ?inject:inj config (Machine.modules ctx.machine) ~now:(now + !lat)
             ~dst:(Frame.mem_module frame) ~words;
       Frame.fill_zero frame;
       kill_cached_lines ();
@@ -225,30 +270,63 @@ let handle ctx ~now ~proc ~cmap ~vpage ~write =
                 page.Cpage.write_mapped <- false;
                 emit (Probe.Restricted { cpage = page.Cpage.id; interrupted })
               end;
-              block_copy_into ~dst:frame;
-              Cpage.add_copy page frame;
-              st.Cpage.replications <- st.Cpage.replications + 1;
-              ctx.counters.Counters.replications <- ctx.counters.Counters.replications + 1;
-              emit
-                (Probe.Replicated
-                   {
-                     cpage = page.Cpage.id;
-                     to_module = Frame.mem_module frame;
-                     copies = Cpage.ncopies page;
-                   });
-              install frame ~write_ok:false
+              if block_copy_into ~dst:frame then begin
+                Cpage.add_copy page frame;
+                st.Cpage.replications <- st.Cpage.replications + 1;
+                ctx.counters.Counters.replications <- ctx.counters.Counters.replications + 1;
+                emit
+                  (Probe.Replicated
+                     {
+                       cpage = page.Cpage.id;
+                       to_module = Frame.mem_module frame;
+                       copies = Cpage.ncopies page;
+                     });
+                install frame ~write_ok:false
+              end
+              else begin
+                (* Repeated aborts: give up on the replica, freeze the page
+                   where it lives and fall back to a remote mapping.  The
+                   restriction above dropped the write flag without the
+                   [install] that normally recomputes the directory state,
+                   so resync before the freeze (the monitor checks there). *)
+                abandon_frame frame;
+                Cpage.sync_state page;
+                ctx.hooks.freeze ~now:(now + !lat) page;
+                (match inj with
+                | Some i when page.Cpage.frozen -> Platinum_sim.Inject.note_degraded_freeze i
+                | Some _ | None -> ());
+                remote_map ()
+              end
             end
             else begin
               (* Migration: invalidate all other translations, copy, free
                  the old copies. *)
               protocol_invalidate ~spare:None;
-              block_copy_into ~dst:frame;
-              lat := !lat + free_copies ctx page ~except:frame;
-              Cpage.add_copy page frame;
-              st.Cpage.migrations <- st.Cpage.migrations + 1;
-              ctx.counters.Counters.migrations <- ctx.counters.Counters.migrations + 1;
-              emit (Probe.Migrated { cpage = page.Cpage.id; to_module = Frame.mem_module frame });
-              install frame ~write_ok:true
+              if block_copy_into ~dst:frame then begin
+                lat := !lat + free_copies ctx page ~except:frame;
+                Cpage.add_copy page frame;
+                st.Cpage.migrations <- st.Cpage.migrations + 1;
+                ctx.counters.Counters.migrations <- ctx.counters.Counters.migrations + 1;
+                emit (Probe.Migrated { cpage = page.Cpage.id; to_module = Frame.mem_module frame });
+                install frame ~write_ok:true
+              end
+              else begin
+                (* Repeated aborts: abandon the move, collapse to the copy
+                   the page already has, freeze it in place and map that.
+                   The invalidation above removed every mapping, so the
+                   write flag and directory state must be resynced before
+                   the freeze (the monitor checks there). *)
+                abandon_frame frame;
+                let kept = choose_copy page in
+                lat := !lat + free_copies ctx page ~except:kept;
+                page.Cpage.write_mapped <- false;
+                Cpage.sync_state page;
+                ctx.hooks.freeze ~now:(now + !lat) page;
+                (match inj with
+                | Some i when page.Cpage.frozen -> Platinum_sim.Inject.note_degraded_freeze i
+                | Some _ | None -> ());
+                remote_map ()
+              end
             end)))
   in
   ctx.counters.Counters.fault_ns <- ctx.counters.Counters.fault_ns + !lat;

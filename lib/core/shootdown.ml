@@ -69,15 +69,45 @@ let run ?monitor ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~
           if monitor <> None then processed := (cmap, vpage, targets) :: !processed
         end)
     mappings;
-  (* Interrupt each target once, serially; wait for all acknowledgements. *)
+  (* Interrupt each target once, serially; wait for all acknowledgements.
+     Under fault injection an IPI may be dropped or delayed: the initiator
+     arms an ack timeout (exponential backoff) and re-sends, bounded by the
+     plane's retry cap — the adversary forces delivery on the final attempt,
+     so the shootdown always completes and the refmask/ATC updates above
+     are never left partially applied.  Retries extend only that target's
+     ack timeline; with no plane attached the path is byte-identical to the
+     fault-free model. *)
   let to_interrupt = Procset.remove initiator !to_interrupt in
+  let inj = Machine.inject machine in
   let last_ack = ref !t in
   Procset.iter
     (fun p ->
       t := !t + config.Platinum_machine.Config.ipi_send_ns;
       Machine.count_ipi machine;
-      let can_take = max !t (Machine.proc_busy_until machine ~proc:p) in
-      let ack = can_take + config.Platinum_machine.Config.sync_handler_ns in
+      let busy = Machine.proc_busy_until machine ~proc:p in
+      let ack =
+        match inj with
+        | None -> max !t busy + config.Platinum_machine.Config.sync_handler_ns
+        | Some inj ->
+          let base_ack = max !t busy + config.Platinum_machine.Config.sync_handler_ns in
+          let rec attempt k send_done =
+            match Platinum_sim.Inject.ipi_fault inj ~attempt:k with
+            | `Drop ->
+              (* Lost: wait out the ack timeout, then re-send. *)
+              Platinum_sim.Inject.note_shootdown_retry inj;
+              Machine.count_ipi machine;
+              attempt (k + 1)
+                (send_done
+                + Platinum_sim.Inject.ack_timeout inj ~attempt:k
+                + config.Platinum_machine.Config.ipi_send_ns)
+            | `Deliver -> max send_done busy + config.Platinum_machine.Config.sync_handler_ns
+            | `Delay d ->
+              max (send_done + d) busy + config.Platinum_machine.Config.sync_handler_ns
+          in
+          let ack = attempt 0 !t in
+          if ack > base_ack then Platinum_sim.Inject.note_recovery inj (ack - base_ack);
+          ack
+      in
       Machine.add_penalty machine ~proc:p config.Platinum_machine.Config.sync_handler_ns;
       if ack > !last_ack then last_ack := ack)
     to_interrupt;

@@ -28,6 +28,8 @@ let write_stride ?(elem_words = 1) vaddr ~stride data =
   ignore (access (Memtxn.Stride_write { vaddr; data; count; elem_words; stride }))
 let compute ns = if ns > 0 then Effect.perform (Eff.Compute ns)
 let now () = Effect.perform Eff.Now
+let sleep ns = if ns > 0 then Effect.perform (Eff.Sleep ns)
+let inject_handle () = Effect.perform Eff.Inject_handle
 let spawn ?proc ?aspace body = Effect.perform (Eff.Spawn (body, proc, aspace))
 let join tid = Effect.perform (Eff.Join tid)
 

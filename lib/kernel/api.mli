@@ -49,6 +49,17 @@ val compute : int -> unit
 val now : unit -> int
 (** Simulated time (instrumentation only). *)
 
+val sleep : int -> unit
+(** Block for the given nanoseconds of simulated time without occupying
+    the processor — a timer, not computation.  Used by recovery code
+    (retransmission timeouts); the wake-up is a deferred engine event, so
+    it never consumes a {!Platinum_sim.Engine.run} [?limit] budget. *)
+
+val inject_handle : unit -> Platinum_sim.Inject.t option
+(** The machine's fault-injection plane, if one is attached
+    ({!Platinum_machine.Machine.set_inject}) — consulted by user-level
+    recovery paths such as {!Rpc} retransmission. *)
+
 (* --- threads --- *)
 
 val spawn : ?proc:int -> ?aspace:int -> (unit -> unit) -> Eff.thread_id

@@ -24,3 +24,5 @@ type _ Effect.t +=
   | New_aspace : int Effect.t
   | New_segment : string * int -> int Effect.t
   | Map_segment : int -> int Effect.t
+  | Sleep : int -> unit Effect.t
+  | Inject_handle : Platinum_sim.Inject.t option Effect.t

@@ -47,3 +47,13 @@ type _ Effect.t +=
   | Map_segment : int -> int Effect.t
       (** bind a segment into the calling thread's address space; returns
           the base vaddr there *)
+  | Sleep : int -> unit Effect.t
+      (** block for n ns of simulated time without occupying the
+          processor — a timer, not computation.  The wake-up is a
+          {e deferred} engine event: it keeps the run alive but does not
+          consume a [?limit] budget (retransmission timers are recovery
+          plumbing, not application work) *)
+  | Inject_handle : Platinum_sim.Inject.t option Effect.t
+      (** the machine's fault-injection plane, if one is attached — lets
+          user-level recovery code (RPC retransmission) consult the same
+          per-machine adversary the kernel paths use *)

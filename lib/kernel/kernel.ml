@@ -338,6 +338,19 @@ and start_fiber t th =
                 run_op t th k (fun () ->
                     ( t.memsys.Memsys.map_segment ~aspace:th.aspace ~segment,
                       (config t).Config.vm_fault_ns )))
+          | Eff.Sleep ns ->
+            Some
+              (fun k ->
+                (* A timed wait: the thread blocks, the processor moves on,
+                   and a deferred engine event re-wakes it — timer plumbing
+                   rather than application work, so it never consumes a
+                   run [?limit] budget. *)
+                th.state <- Blocked;
+                th.resume <- Some (fun () -> continue k ());
+                Engine.schedule_after t.engine ~deferred:true ~delay:(max ns 0)
+                  (fun () -> wake t th);
+                dispatch t th.proc)
+          | Eff.Inject_handle -> Some (fun k -> complete t th k (Machine.inject t.machine) 0)
           | _ -> None)
     }
 

@@ -25,13 +25,36 @@ let serve ?proc handler =
 
 let port_of t = t.request_port
 
+(* Ship one request, surviving a lossy switch: under fault injection the
+   message may vanish in flight, in which case the client waits out a
+   retransmission timeout (exponential backoff) and re-sends.  The
+   adversary never drops the final attempt, so a call always completes;
+   with no plane attached this is exactly one [Api.send]. *)
+let send_request port msg =
+  match Api.inject_handle () with
+  | None -> Api.send port msg
+  | Some inj ->
+    let waited = ref 0 in
+    let rec go attempt =
+      if Platinum_sim.Inject.rpc_drop inj ~attempt then begin
+        let timeout = Platinum_sim.Inject.rpc_retrans inj ~attempt in
+        Api.sleep timeout;
+        waited := !waited + timeout;
+        Platinum_sim.Inject.note_rpc_retry inj;
+        go (attempt + 1)
+      end
+      else Api.send port msg
+    in
+    go 0;
+    if !waited > 0 then Platinum_sim.Inject.note_recovery inj !waited
+
 let call_async t args =
   let reply_port = Api.new_port () in
   let msg = Array.make (Array.length args + 2) 0 in
   msg.(0) <- kind_call;
   msg.(1) <- reply_port;
   Array.blit args 0 msg 2 (Array.length args);
-  Api.send t.request_port msg;
+  send_request t.request_port msg;
   fun () -> Api.recv reply_port
 
 let call t args = call_async t args ()

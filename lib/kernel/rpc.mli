@@ -23,11 +23,15 @@ val port_of : server -> Eff.port_id
 (** The request port (e.g. to hand to other threads by value). *)
 
 val call : server -> int array -> int array
-(** Synchronous call: ship the arguments, block until the reply. *)
+(** Synchronous call: ship the arguments, block until the reply.  Under
+    fault injection ({!Platinum_machine.Machine.set_inject}) a request may
+    be lost in the switch; the client recovers by retransmitting after an
+    exponential-backoff timeout, bounded by the plane's retry cap — a call
+    always completes, it just takes longer. *)
 
 val call_async : server -> int array -> unit -> int array
 (** Fire the request immediately; the returned thunk blocks for (and
-    returns) the reply when forced. *)
+    returns) the reply when forced.  Retransmits like {!call}. *)
 
 val shutdown : server -> unit
 (** Stop the server thread (after it finishes queued requests) and join

@@ -5,6 +5,7 @@ type t = {
   penalties : int array;
   busy : int array;
   mutable ipis : int;
+  mutable inject : Platinum_sim.Inject.t option;
 }
 
 let create (config : Config.t) =
@@ -20,7 +21,11 @@ let create (config : Config.t) =
     penalties = Array.make config.nprocs 0;
     busy = Array.make config.nprocs 0;
     ipis = 0;
+    inject = None;
   }
+
+let set_inject t inj = t.inject <- inj
+let inject t = t.inject
 
 let config t = t.config
 let nprocs t = t.config.nprocs

@@ -46,6 +46,17 @@ val take_penalty : t -> proc:int -> int
 val proc_busy_until : t -> proc:int -> Platinum_sim.Time_ns.t
 val set_proc_busy_until : t -> proc:int -> Platinum_sim.Time_ns.t -> unit
 
+(* --- fault injection --- *)
+
+val set_inject : t -> Platinum_sim.Inject.t option -> unit
+(** Attach (or detach) a fault-injection plane.  [None] (the default) and
+    an attached plane with rate [0.0] are behaviourally identical: the
+    fault-free paths never consult or perturb anything. *)
+
+val inject : t -> Platinum_sim.Inject.t option
+(** The attached plane, consulted by the kernel layers ({!Platinum_machine.Xbar},
+    shootdown, fault handler, RPC) at each fault opportunity. *)
+
 (* --- counters --- *)
 
 val count_ipi : t -> unit

@@ -14,6 +14,22 @@ let uncontended_word_ns (c : Config.t) kind ~local =
     | Write -> c.t_remote_write_word
     | Rmw -> c.t_remote_read_word + c.t_module_service
 
+(* Fault injection lives at the module serialization point: a transient
+   stall lengthens this one request's service; a hard outage pushes the
+   module's busy horizon out, so this request — and everything arriving
+   behind it — queues until the module comes back.  Returns the extra
+   service to charge (stall), having applied any outage to the module. *)
+let module_fault inject m ~now =
+  match inject with
+  | None -> 0
+  | Some inj -> (
+    match Platinum_sim.Inject.module_fault inj with
+    | `None -> 0
+    | `Stall n -> n
+    | `Outage n ->
+      Memmodule.reserve_until m (max now (Memmodule.busy_until m) + n);
+      0)
+
 (* The one interconnect primitive behind every memory transaction chunk:
    [words] back-to-back accesses from [proc] to one module.  The request
    traverses the switch (folded into the uncontended constants), queues at
@@ -22,7 +38,7 @@ let uncontended_word_ns (c : Config.t) kind ~local =
    this is a plain word access; issuing a run as one acquisition is
    cost-identical to [words] sequential acquisitions, because the module is
    the serialization point either way. *)
-let access (c : Config.t) modules ~now ~proc ~mem_module kind ~words =
+let access ?inject (c : Config.t) modules ~now ~proc ~mem_module kind ~words =
   if words < 0 then invalid_arg "Xbar.access";
   if words = 0 then 0
   else begin
@@ -30,23 +46,28 @@ let access (c : Config.t) modules ~now ~proc ~mem_module kind ~words =
     let m = modules.(mem_module) in
     let per_word_service = if local then c.t_local_word else c.t_module_service in
     let base = words * uncontended_word_ns c kind ~local in
-    let start = Memmodule.acquire m ~arrival:now ~service:(words * per_word_service) in
-    (start - now) + base
+    let extra = module_fault inject m ~now in
+    let start =
+      Memmodule.acquire m ~arrival:now ~service:((words * per_word_service) + extra)
+    in
+    (start - now) + base + extra
   end
 
-let word_access c modules ~now ~proc ~mem_module kind =
-  access c modules ~now ~proc ~mem_module kind ~words:1
+let word_access ?inject c modules ~now ~proc ~mem_module kind =
+  access ?inject c modules ~now ~proc ~mem_module kind ~words:1
 
-let block_words c modules ~now ~proc ~mem_module kind ~words =
-  access c modules ~now ~proc ~mem_module kind ~words
+let block_words ?inject c modules ~now ~proc ~mem_module kind ~words =
+  access ?inject c modules ~now ~proc ~mem_module kind ~words
 
-let block_copy (c : Config.t) modules ~now ~src ~dst ~words =
+let block_copy ?inject (c : Config.t) modules ~now ~src ~dst ~words =
   if words < 0 then invalid_arg "Xbar.block_copy";
   if words = 0 then 0
   else begin
     let duration = words * c.t_block_word in
     let msrc = modules.(src) in
     let mdst = modules.(dst) in
+    let extra = module_fault inject msrc ~now in
+    let duration = duration + extra in
     if src = dst then begin
       let start = Memmodule.acquire msrc ~arrival:now ~service:duration in
       (start - now) + duration
@@ -60,12 +81,14 @@ let block_copy (c : Config.t) modules ~now ~src ~dst ~words =
     end
   end
 
-let zero_fill (c : Config.t) modules ~now ~dst ~words =
+let zero_fill ?inject (c : Config.t) modules ~now ~dst ~words =
   if words < 0 then invalid_arg "Xbar.zero_fill";
   if words = 0 then 0
   else begin
     let duration = words * c.zero_fill_word_ns in
     let m = modules.(dst) in
+    let extra = module_fault inject m ~now in
+    let duration = duration + extra in
     let start = Memmodule.acquire m ~arrival:now ~service:duration in
     (start - now) + duration
   end

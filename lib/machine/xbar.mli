@@ -17,6 +17,7 @@ val uncontended_word_ns : Config.t -> kind -> local:bool -> int
 (** Latency of a single word access with no queueing. *)
 
 val access :
+  ?inject:Platinum_sim.Inject.t ->
   Config.t ->
   Memmodule.t array ->
   now:Platinum_sim.Time_ns.t ->
@@ -28,9 +29,15 @@ val access :
 (** Latency (ns) of [words] back-to-back accesses to one module issued at
     [now], including queueing at the target.  This is the primitive each
     {!Platinum_core.Memtxn} chunk is charged with; {!word_access} and
-    {!block_words} are the [words = 1] and n-word special cases. *)
+    {!block_words} are the [words = 1] and n-word special cases.
+
+    [inject], when present, is consulted once per call at the module
+    serialization point: a transient stall lengthens this request's
+    service, a hard outage takes the module down first (the request and
+    everything behind it queue until it returns). *)
 
 val word_access :
+  ?inject:Platinum_sim.Inject.t ->
   Config.t ->
   Memmodule.t array ->
   now:Platinum_sim.Time_ns.t ->
@@ -42,6 +49,7 @@ val word_access :
     the target module. *)
 
 val block_words :
+  ?inject:Platinum_sim.Inject.t ->
   Config.t ->
   Memmodule.t array ->
   now:Platinum_sim.Time_ns.t ->
@@ -55,6 +63,7 @@ val block_words :
     back-to-back, so the module is occupied for the whole run). *)
 
 val block_copy :
+  ?inject:Platinum_sim.Inject.t ->
   Config.t ->
   Memmodule.t array ->
   now:Platinum_sim.Time_ns.t ->
@@ -66,9 +75,11 @@ val block_copy :
     module [dst].  Both modules are occupied for the duration (the Butterfly
     block transfer consumes 75% of the local bus bandwidth on both nodes;
     we model full occupancy, §7).  When [src = dst] (a purely local copy)
-    only one module is occupied. *)
+    only one module is occupied.  Module faults ([inject]) are drawn on the
+    source module. *)
 
 val zero_fill :
+  ?inject:Platinum_sim.Inject.t ->
   Config.t ->
   Memmodule.t array ->
   now:Platinum_sim.Time_ns.t ->

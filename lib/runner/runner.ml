@@ -18,7 +18,7 @@ type setup = {
   kernel : Kernel.t;
 }
 
-let make ?config ?policy ?defrost ?(frames_per_module = 1024) ?default_zone_pages () =
+let make ?config ?policy ?defrost ?(frames_per_module = 1024) ?default_zone_pages ?inject () =
   let config = match config with Some c -> c | None -> Config.butterfly_plus () in
   let policy =
     match policy with
@@ -28,6 +28,9 @@ let make ?config ?policy ?defrost ?(frames_per_module = 1024) ?default_zone_page
   in
   let engine = Engine.create () in
   let machine = Machine.create config in
+  (match inject with
+  | None -> ()
+  | Some cfg -> Machine.set_inject machine (Some (Platinum_sim.Inject.create cfg)));
   let coherent = Coherent.create machine ~engine ~policy ~frames_per_module () in
   let aspace = Addr_space.create coherent in
   let platsys = Platsys.create coherent aspace ?default_zone_pages () in
@@ -50,8 +53,10 @@ let run setup ~main =
   | Error e -> failwith ("coherence invariant violated after run: " ^ e));
   { elapsed; report = Report.of_run setup.coherent ~elapsed; setup }
 
-let time ?config ?policy ?defrost ?frames_per_module ?default_zone_pages main =
-  let setup = make ?config ?policy ?defrost ?frames_per_module ?default_zone_pages () in
+let time ?config ?policy ?defrost ?frames_per_module ?default_zone_pages ?inject main =
+  let setup =
+    make ?config ?policy ?defrost ?frames_per_module ?default_zone_pages ?inject ()
+  in
   run setup ~main
 
 let speedup ?jobs ?(nprocs_list = [ 1; 2; 4; 8; 12; 16 ]) ?base_config ?policy_of

@@ -20,12 +20,15 @@ val make :
   ?defrost:Platinum_core.Defrost.mode ->
   ?frames_per_module:int ->
   ?default_zone_pages:int ->
+  ?inject:Platinum_sim.Inject.config ->
   unit ->
   setup
 (** Defaults: 16-processor Butterfly Plus, the PLATINUM policy (with the
     config's t1), periodic defrost, 1024 frames per module, 4096-page
     default zone.  The defrost daemon is installed when the policy uses
-    it. *)
+    it.  [inject] attaches a fault-injection plane to the machine
+    ({!Platinum_sim.Inject}); omitted, the hardware is fault-free as in
+    the paper. *)
 
 type result = {
   elapsed : Platinum_sim.Time_ns.t;
@@ -44,6 +47,7 @@ val time :
   ?defrost:Platinum_core.Defrost.mode ->
   ?frames_per_module:int ->
   ?default_zone_pages:int ->
+  ?inject:Platinum_sim.Inject.config ->
   (unit -> unit) ->
   result
 (** [make] + [run] in one step. *)

@@ -1,8 +1,21 @@
 (* The event queue is an array-backed binary min-heap (Eheap) keyed by
    (time, tagged seq).  The sequence number makes simultaneous events run
-   in scheduling order, which keeps runs deterministic; its low bit carries
-   the daemon flag (seq is unique per event, so tagging the parity never
-   reorders anything).  One closure per event is the only allocation. *)
+   in scheduling order, which keeps runs deterministic; its two low bits
+   carry the event class — bit 0 the daemon flag, bit 1 the deferred flag
+   (seq is unique per event, so tagging the low bits never reorders
+   anything).  One closure per event is the only allocation.
+
+   Three classes:
+   - normal: application work; keeps {!run} alive and consumes the ?limit
+     budget;
+   - daemon: periodic kernel chores; neither keeps the run alive nor
+     consumes budget;
+   - deferred: fault-plane plumbing (a delayed interrupt redelivery, a
+     retransmission timer).  It must fire — the run stays alive for it —
+     but it is not application work, so it must not consume the ?limit
+     budget either.  Before this class existed, injected delays had to be
+     scheduled as normal events and a delayed interrupt re-enqueued past
+     the limit boundary miscounted against the caller's budget. *)
 
 let nothing () = ()
 
@@ -11,7 +24,7 @@ type t = {
   mutable seq : int;
   queue : (unit -> unit) Eheap.t;
   mutable processed : int;
-  mutable normal_pending : int;  (* non-daemon events in the queue *)
+  mutable normal_pending : int;  (* non-daemon (normal + deferred) events queued *)
 }
 
 let create () =
@@ -25,18 +38,21 @@ let create () =
 
 let now t = t.clock
 
-let schedule_at t ?(daemon = false) ~at f =
+let schedule_at t ?(daemon = false) ?(deferred = false) ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %d is in the past (now=%d)" at t.clock);
-  let tagged = (t.seq lsl 1) lor if daemon then 1 else 0 in
+  if daemon && deferred then invalid_arg "Engine.schedule_at: daemon and deferred are exclusive";
+  let tagged =
+    (t.seq lsl 2) lor (if deferred then 2 else 0) lor if daemon then 1 else 0
+  in
   Eheap.add t.queue ~time:at ~seq:tagged f;
   if not daemon then t.normal_pending <- t.normal_pending + 1;
   t.seq <- t.seq + 1
 
-let schedule_after t ?daemon ~delay f =
+let schedule_after t ?daemon ?deferred ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
-  schedule_at t ?daemon ~at:(t.clock + delay) f
+  schedule_at t ?daemon ?deferred ~at:(t.clock + delay) f
 
 let every t ?daemon ~period ?start f =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
@@ -44,18 +60,18 @@ let every t ?daemon ~period ?start f =
   let rec fire () = if f () then schedule_after t ?daemon ~delay:period fire in
   schedule_at t ?daemon ~at:first fire
 
-(* Run the earliest event; [`Normal]/[`Daemon] say what ran. *)
+(* Run the earliest event; the result says which class ran. *)
 let step_kind t =
   if Eheap.is_empty t.queue then `Empty
   else begin
     let at = Eheap.min_time t.queue in
-    let daemon = Eheap.min_seq t.queue land 1 = 1 in
+    let tag = Eheap.min_seq t.queue land 3 in
     let fn = Eheap.pop t.queue in
     t.clock <- at;
     t.processed <- t.processed + 1;
-    if not daemon then t.normal_pending <- t.normal_pending - 1;
+    if tag land 1 = 0 then t.normal_pending <- t.normal_pending - 1;
     fn ();
-    if daemon then `Daemon else `Normal
+    match tag with 1 -> `Daemon | 2 -> `Deferred | _ -> `Normal
   end
 
 let step t = step_kind t <> `Empty
@@ -64,14 +80,16 @@ let run ?limit t =
   match limit with
   | None -> while t.normal_pending > 0 && step t do () done
   | Some n ->
-    (* The budget counts non-daemon events only: daemons (periodic kernel
-       chores) ride along free, so a limit measures application work, not
-       how often the defrost daemon happened to tick. *)
+    (* The budget counts normal events only: daemons (periodic kernel
+       chores) and deferred events (injected delays, retransmission
+       timers) ride along free, so a limit measures application work, not
+       how often the defrost daemon ticked or how many times the fault
+       plane delayed an interrupt. *)
     let budget = ref n in
     while !budget > 0 && t.normal_pending > 0 do
       match step_kind t with
       | `Normal -> decr budget
-      | `Daemon -> ()
+      | `Daemon | `Deferred -> ()
       | `Empty -> budget := 0
     done
 

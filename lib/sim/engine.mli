@@ -11,14 +11,29 @@ val create : unit -> t
 val now : t -> Time_ns.t
 (** Current virtual time. *)
 
-val schedule_at : t -> ?daemon:bool -> at:Time_ns.t -> (unit -> unit) -> unit
+val schedule_at :
+  t -> ?daemon:bool -> ?deferred:bool -> at:Time_ns.t -> (unit -> unit) -> unit
 (** Run the thunk when the clock reaches [at].  Scheduling in the past
-    raises [Invalid_argument].  [daemon] events (default false) do not keep
-    {!run} alive: the run stops once only daemon events remain — this is
-    how recurring kernel daemons avoid keeping a finished simulation
-    spinning. *)
+    raises [Invalid_argument].
 
-val schedule_after : t -> ?daemon:bool -> delay:Time_ns.t -> (unit -> unit) -> unit
+    Events come in three classes:
+    - {e normal} (the default): application work.  Keeps {!run} alive and
+      consumes the [?limit] budget.
+    - [daemon] events do not keep {!run} alive: the run stops once only
+      daemon events remain — this is how recurring kernel daemons avoid
+      keeping a finished simulation spinning.  They do not consume the
+      [?limit] budget either.
+    - [deferred] events are fault-plane plumbing (a delayed interrupt
+      redelivery, an RPC retransmission timer).  They must fire — the run
+      stays alive for them — but they are not application work, so they do
+      not consume the [?limit] budget.  Without this class, an injected
+      delay re-enqueued past a limit boundary would miscount against the
+      caller's non-daemon event budget.
+
+    [daemon] and [deferred] are mutually exclusive ([Invalid_argument]). *)
+
+val schedule_after :
+  t -> ?daemon:bool -> ?deferred:bool -> delay:Time_ns.t -> (unit -> unit) -> unit
 (** [schedule_after t ~delay f] is [schedule_at t ~at:(now t + delay) f].
     Negative delays raise [Invalid_argument]. *)
 
@@ -32,9 +47,10 @@ val step : t -> bool
 
 val run : ?limit:int -> t -> unit
 (** Run events until no non-daemon events remain, or until [limit]
-    {e non-daemon} events have been processed (default unlimited).  Daemon
-    events that interleave do not consume the budget: a limit bounds
-    application work, independent of how often periodic daemons tick. *)
+    {e normal} events have been processed (default unlimited).  Daemon and
+    deferred events that interleave do not consume the budget: a limit
+    bounds application work, independent of how often periodic daemons tick
+    or how many times the fault plane delayed an interrupt. *)
 
 val run_until : t -> Time_ns.t -> unit
 (** Run every event with timestamp [<=] the given horizon, advancing the

@@ -219,6 +219,84 @@ let test_defrost_daemon () =
   Alcotest.(check int) "frozen list empty" 0 (List.length (Coherent.frozen_pages env.coh));
   check_inv env
 
+(* --- the adaptive defrost variant (per-page t2, §4.2's sketch) --- *)
+
+let adaptive =
+  Defrost.Adaptive { initial_t2 = 1_000_000; max_t2 = 8_000_000; refreeze_window = 500_000 }
+
+(* A single-copy page the daemon can freeze directly. *)
+let one_copy_page env pages =
+  ignore (write env ~proc:0 0 1);
+  Alcotest.(check int) "setup: one copy" 1 (Cpage.ncopies pages.(0))
+
+let test_defrost_adaptive_arms_and_thaws () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  Defrost.install ~mode:adaptive env.coh env.engine;
+  one_copy_page env pages;
+  Coherent.freeze_page env.coh ~now:10_000 pages.(0);
+  Alcotest.(check int) "first freeze arms the initial t2" 1_000_000
+    pages.(0).Cpage.adaptive_t2;
+  (* The per-page timer fires at freeze + t2, well before the periodic
+     daemon's 1 s sweep would have. *)
+  Engine.run_until env.engine 2_000_000;
+  Alcotest.(check bool) "per-page timer thawed it" false pages.(0).Cpage.frozen;
+  Alcotest.(check int) "frozen list empty" 0 (List.length (Coherent.frozen_pages env.coh));
+  check_inv env
+
+let test_defrost_adaptive_backoff () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  Defrost.install ~mode:adaptive env.coh env.engine;
+  one_copy_page env pages;
+  Coherent.freeze_page env.coh ~now:0 pages.(0);
+  Engine.run_until env.engine 1_200_000;
+  Alcotest.(check bool) "setup: first thaw happened" false pages.(0).Cpage.frozen;
+  (* Refreeze inside the refreeze window: the thaw was wrong, back off. *)
+  Coherent.freeze_page env.coh ~now:(pages.(0).Cpage.last_thaw_at + 100_000) pages.(0);
+  Alcotest.(check int) "refreeze inside the window doubles t2" 2_000_000
+    pages.(0).Cpage.adaptive_t2;
+  (* Keep refreezing hot: the back-off is capped at max_t2. *)
+  for _ = 1 to 5 do
+    Coherent.thaw_page env.coh ~now:(Engine.now env.engine) pages.(0);
+    Coherent.freeze_page env.coh ~now:(pages.(0).Cpage.last_thaw_at + 1) pages.(0)
+  done;
+  Alcotest.(check int) "doubling caps at max_t2" 8_000_000 pages.(0).Cpage.adaptive_t2;
+  check_inv env
+
+let test_defrost_adaptive_slow_refreeze_keeps_t2 () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  Defrost.install ~mode:adaptive env.coh env.engine;
+  one_copy_page env pages;
+  Coherent.freeze_page env.coh ~now:0 pages.(0);
+  Engine.run_until env.engine 1_200_000;
+  (* A refreeze long after the thaw is a new phase, not churn: no back-off. *)
+  Coherent.freeze_page env.coh ~now:(pages.(0).Cpage.last_thaw_at + 600_000) pages.(0);
+  Alcotest.(check int) "refreeze outside the window keeps t2" 1_000_000
+    pages.(0).Cpage.adaptive_t2;
+  check_inv env
+
+let test_defrost_adaptive_stale_timer () =
+  let env = mk () in
+  let pages = bind_pages env 1 in
+  Defrost.install ~mode:adaptive env.coh env.engine;
+  one_copy_page env pages;
+  (* First freeze arms a wake-up at t=1ms for frozen_at=0... *)
+  Coherent.freeze_page env.coh ~now:0 pages.(0);
+  (* ...but the page thaws early and refreezes (new frozen_at, its own
+     later wake-up at ~2.2ms after the doubled t2). *)
+  Coherent.thaw_page env.coh ~now:100_000 pages.(0);
+  Coherent.freeze_page env.coh ~now:200_000 pages.(0);
+  Alcotest.(check int) "quick refreeze doubled t2" 2_000_000 pages.(0).Cpage.adaptive_t2;
+  (* The stale first timer fires at 1ms and must not thaw the new freeze. *)
+  Engine.run_until env.engine 1_500_000;
+  Alcotest.(check bool) "stale timer left the refreeze alone" true pages.(0).Cpage.frozen;
+  (* The refreeze's own timer eventually does. *)
+  Engine.run_until env.engine 3_000_000;
+  Alcotest.(check bool) "the refreeze's own timer thawed it" false pages.(0).Cpage.frozen;
+  check_inv env
+
 let test_thaw_on_fault_policy () =
   let config = Config.butterfly_plus ~nprocs:4 ~page_words:8 () in
   let policy =
@@ -659,6 +737,12 @@ let suite =
     ("policy: frozen pages map with full rights", `Quick, test_frozen_full_rights);
     ("policy: thaw allows replication", `Quick, test_thaw_allows_replication);
     ("policy: defrost daemon thaws", `Quick, test_defrost_daemon);
+    ("policy: adaptive defrost arms and thaws", `Quick, test_defrost_adaptive_arms_and_thaws);
+    ("policy: adaptive defrost backs off on churn", `Quick, test_defrost_adaptive_backoff);
+    ( "policy: adaptive defrost keeps t2 across phases",
+      `Quick,
+      test_defrost_adaptive_slow_refreeze_keeps_t2 );
+    ("policy: adaptive defrost ignores stale timers", `Quick, test_defrost_adaptive_stale_timer);
     ("policy: thaw-on-fault variant", `Quick, test_thaw_on_fault_policy);
     ("policy: static placement", `Quick, test_policy_static_place);
     ("policy: migrate-only", `Quick, test_policy_migrate_only);

@@ -408,6 +408,96 @@ let test_barrier_reusable () =
       Alcotest.(check int) "both completed 5 rounds" 2 !rounds)
   |> ignore
 
+let test_with_lock_releases_on_exn () =
+  let reacquired = ref false in
+  run (fun () ->
+      let lock = Sync.Spinlock.make () in
+      (try Sync.Spinlock.with_lock lock (fun () -> raise Exit) with Exit -> ());
+      (* If the exception leaked the lock, this acquire spins forever and
+         the kernel reports a deadlock instead. *)
+      Sync.Spinlock.with_lock lock (fun () -> reacquired := true))
+  |> ignore;
+  Alcotest.(check bool) "lock released by the exception" true !reacquired
+
+(* More threads than processors: contention plus timeslicing, no compute
+   inside the critical section to keep the race window tight. *)
+let test_spinlock_oversubscribed () =
+  run (fun () ->
+      let lock = Sync.Spinlock.make () in
+      let counter = Api.alloc 1 in
+      let worker () =
+        for _ = 1 to 5 do
+          Sync.Spinlock.with_lock lock (fun () ->
+              Api.write counter (Api.read counter + 1))
+        done
+      in
+      let tids = List.init 8 (fun i -> Api.spawn ~proc:(i mod 4) worker) in
+      List.iter Api.join tids;
+      Alcotest.(check int) "all 40 increments counted" 40 (Api.read counter))
+  |> ignore
+
+let test_event_count_multiple_waiters () =
+  let woken = ref [] in
+  run (fun () ->
+      let ec = Sync.Event_count.make () in
+      let waiter target =
+        Api.spawn ~proc:(target mod 4) (fun () ->
+            Sync.Event_count.await ec target;
+            woken := target :: !woken)
+      in
+      let tids = List.map waiter [ 1; 2; 3 ] in
+      for _ = 1 to 3 do
+        Api.compute 500_000;
+        Sync.Event_count.advance ec
+      done;
+      List.iter Api.join tids)
+  |> ignore;
+  (* Everyone wakes; a waiter for n never wakes before one for m < n has
+     become runnable (the count is monotone), but scheduling may reorder
+     the list — only membership is guaranteed. *)
+  Alcotest.(check (list int)) "all waiters woke" [ 1; 2; 3 ] (List.sort compare !woken)
+
+let test_barrier_invalid_parties () =
+  run (fun () ->
+      Alcotest.check_raises "parties must be positive"
+        (Invalid_argument "Barrier.make: parties must be positive") (fun () ->
+          ignore (Sync.Barrier.make ~parties:0 ())))
+  |> ignore
+
+(* Api.sleep parks the thread on a deferred engine event: virtual time
+   advances without the processor being occupied. *)
+let test_sleep_advances_clock () =
+  let t0 = ref 0 and t1 = ref 0 in
+  let r =
+    run (fun () ->
+        t0 := Api.now ();
+        Api.sleep 1_000_000;
+        t1 := Api.now ();
+        Api.sleep 0 (* no-op, must not deadlock *))
+  in
+  Alcotest.(check bool) "slept at least 1 ms" true (!t1 - !t0 >= 1_000_000);
+  Alcotest.(check bool) "run terminated" true (r.Runner.elapsed >= 1_000_000)
+
+(* Synchronization on an adversarial machine: module stalls/outages delay
+   the atomic ops but must never corrupt them. *)
+let test_spinlock_under_injection () =
+  let config = Platinum_machine.Config.butterfly_plus ~nprocs:4 () in
+  Runner.time ~config ~frames_per_module:64 ~default_zone_pages:32
+    ~inject:(Platinum_sim.Inject.config ~seed:5L ~rate:0.3 ())
+    (fun () ->
+      let lock = Sync.Spinlock.make () in
+      let counter = Api.alloc 1 in
+      let worker () =
+        for _ = 1 to 5 do
+          Sync.Spinlock.with_lock lock (fun () ->
+              Api.write counter (Api.read counter + 1))
+        done
+      in
+      let tids = List.init 4 (fun i -> Api.spawn ~proc:i worker) in
+      List.iter Api.join tids;
+      Alcotest.(check int) "increments survive injected faults" 20 (Api.read counter))
+  |> ignore
+
 let suite =
   [
     ("threads: spawn and join", `Quick, test_spawn_join);
@@ -438,4 +528,10 @@ let suite =
     ("sync: event count", `Quick, test_event_count);
     ("sync: barrier ordering", `Quick, test_barrier);
     ("sync: barrier reusable", `Quick, test_barrier_reusable);
+    ("sync: with_lock releases on exception", `Quick, test_with_lock_releases_on_exn);
+    ("sync: spinlock oversubscribed", `Quick, test_spinlock_oversubscribed);
+    ("sync: event count wakes every waiter", `Quick, test_event_count_multiple_waiters);
+    ("sync: barrier rejects zero parties", `Quick, test_barrier_invalid_parties);
+    ("sync: sleep advances the clock", `Quick, test_sleep_advances_clock);
+    ("sync: spinlock correct under fault injection", `Quick, test_spinlock_under_injection);
   ]

@@ -15,6 +15,7 @@ let () =
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);
       ("golden", Test_golden.suite);
+      ("soak", Test_soak.suite);
       ("par", Test_parsweep.suite);
       ("extensions", Test_extensions.suite);
       ("units", Test_units.suite);

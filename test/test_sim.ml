@@ -277,6 +277,54 @@ let test_engine_limit_ignores_daemons () =
   Engine.run e;
   Alcotest.(check int) "the rest still runs" 5 !normal
 
+(* Deferred events (retransmission timers and the like): they hold the run
+   open like normal events, but are exempt from the ?limit budget like
+   daemons. *)
+let test_engine_deferred_keeps_run_alive () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule_after e ~deferred:true ~delay:5 (fun () -> fired := true);
+  Engine.run e;
+  Alcotest.(check bool) "deferred alone holds the run open" true !fired;
+  Alcotest.(check bool) "engine reports empty" true (Engine.is_empty e)
+
+let test_engine_limit_ignores_deferred () =
+  let e = Engine.create () in
+  let normal = ref 0 and deferred = ref 0 in
+  for i = 1 to 5 do
+    Engine.schedule_at e ~deferred:true ~at:((2 * i) - 1) (fun () -> incr deferred);
+    Engine.schedule_at e ~at:(2 * i) (fun () -> incr normal)
+  done;
+  Engine.run ~limit:3 e;
+  Alcotest.(check int) "three normal events consumed the budget" 3 !normal;
+  Alcotest.(check int) "interleaved deferred events ran for free" 3 !deferred;
+  Engine.run e;
+  Alcotest.(check int) "remaining normal events run" 5 !normal;
+  Alcotest.(check int) "remaining deferred events run" 5 !deferred
+
+(* A deferred chain that re-enqueues itself past the budget boundary must
+   not eat the budget (the retransmission-loop shape). *)
+let test_engine_limit_deferred_chain () =
+  let e = Engine.create () in
+  let hops = ref 0 and normal = ref 0 in
+  let rec hop () =
+    incr hops;
+    if !hops < 4 then Engine.schedule_after e ~deferred:true ~delay:3 hop
+  in
+  Engine.schedule_after e ~deferred:true ~delay:3 hop;
+  for i = 1 to 3 do
+    Engine.schedule_at e ~at:(100 * i) (fun () -> incr normal)
+  done;
+  Engine.run ~limit:2 e;
+  Alcotest.(check int) "the whole deferred chain ran" 4 !hops;
+  Alcotest.(check int) "budget spent on normal events only" 2 !normal
+
+let test_engine_daemon_and_deferred_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "daemon && deferred is a caller bug"
+    (Invalid_argument "Engine.schedule_at: daemon and deferred are exclusive")
+    (fun () -> Engine.schedule_at e ~daemon:true ~deferred:true ~at:1 ignore)
+
 (* --- Rng --- *)
 
 let test_rng_deterministic () =
@@ -370,6 +418,10 @@ let suite =
     ("engine: daemons don't hold the run", `Quick, test_engine_daemon_only_never_runs);
     ("engine: event limit", `Quick, test_engine_limit);
     ("engine: limit counts only non-daemon events", `Quick, test_engine_limit_ignores_daemons);
+    ("engine: deferred events hold the run open", `Quick, test_engine_deferred_keeps_run_alive);
+    ("engine: limit exempts deferred events", `Quick, test_engine_limit_ignores_deferred);
+    ("engine: deferred chains don't eat the budget", `Quick, test_engine_limit_deferred_chain);
+    ("engine: daemon && deferred rejected", `Quick, test_engine_daemon_and_deferred_rejected);
     ("rng: deterministic", `Quick, test_rng_deterministic);
     ("rng: seed matters", `Quick, test_rng_seed_matters);
     ("rng: copy", `Quick, test_rng_copy);
