@@ -6,7 +6,6 @@
 open Bechamel
 open Toolkit
 module Engine = Platinum_sim.Engine
-module Heap = Platinum_sim.Heap
 module Rng = Platinum_sim.Rng
 module Procset = Platinum_machine.Procset
 module Config = Platinum_machine.Config
@@ -15,18 +14,7 @@ module Rights = Platinum_core.Rights
 module Policy = Platinum_core.Policy
 module Coherent = Platinum_core.Coherent
 
-module IH = Heap.Make (Int)
 module Eheap = Platinum_sim.Eheap
-
-let test_heap =
-  Test.make ~name:"heap: 64 insert + drain"
-    (Staged.stage (fun () ->
-         let h = ref IH.empty in
-         for i = 63 downto 0 do
-           h := IH.insert i i !h
-         done;
-         let rec drain h = match IH.delete_min h with None -> () | Some (_, h) -> drain h in
-         drain !h))
 
 let test_eheap =
   Test.make ~name:"eheap: 64 insert + drain"
@@ -83,7 +71,7 @@ let run (_ : Exp_common.scale) =
   Exp_common.section "Simulator hot paths (Bechamel, host performance)";
   let tests =
     Test.make_grouped ~name:"platinum"
-      [ test_heap; test_eheap; test_engine; test_rng; test_procset; test_read_hit ]
+      [ test_eheap; test_engine; test_rng; test_procset; test_read_hit ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in

@@ -1,4 +1,4 @@
-(* Host-side throughput of the memory hot path.
+(* Host-side throughput and allocation behaviour of the memory hot path.
 
    The Memtxn layer exists to cut the simulator's own cost per simulated
    word: a per-word access stream pays one effect trap, one Memsys submit,
@@ -7,11 +7,26 @@
    page run).  This experiment measures wall-clock words/second on the same
    Jacobi-style stencil sweep expressed both ways — the simulated traffic
    is identical; only the trap granularity differs — and records the result
-   in BENCH_hotpath.json. *)
+   in BENCH_hotpath.json.
+
+   Since the flat-table rework the steady-state hit path (active aspace,
+   ATC hit, sufficient rights) is also contractually allocation-free, so
+   the experiment doubles as the allocation-budget gate: it measures
+   [Gc.minor_words] deltas per access on three paths — the raw scratch
+   driver ([Coherent.read_word_s]/[write_word_s]), the per-word Api stream,
+   and the batched Api stream — and exits non-zero if the steady-state hit
+   exceeds the budget (2 minor words/access; target 0) or fails to beat the
+   per-word instrumented baseline by at least 10x. *)
 
 module Api = Platinum_kernel.Api
 module Config = Platinum_machine.Config
+module Machine = Platinum_machine.Machine
+module Engine = Platinum_sim.Engine
 module Runner = Platinum_runner.Runner
+module Policy = Platinum_core.Policy
+module Rights = Platinum_core.Rights
+module Cmap = Platinum_core.Cmap
+module Coherent = Platinum_core.Coherent
 
 (* One stencil sweep: every interior row r is recomputed from rows r-1,
    r, r+1 of the source buffer into the destination buffer, [iters] times,
@@ -56,17 +71,61 @@ let sweep ~per_word ~n ~iters ~nprocs () =
 (* Data words the sweep moves: 3n read + n written per interior row. *)
 let sweep_words ~n ~iters = iters * (n - 2) * 4 * n
 
-(* Best of [reps] wall-clock runs (a fresh simulator instance each time). *)
+(* Best of [reps] wall-clock runs (a fresh simulator instance each time),
+   plus the minor-heap words the whole stream allocates per data word
+   (measured on the last rep; [Gc.minor_words] is sampled outside the run
+   so the measurement itself is not in the window). *)
 let measure ~per_word ~n ~iters ~nprocs ~reps =
   let config = Config.butterfly_plus ~nprocs () in
   let best = ref infinity in
+  let mwords = ref 0.0 in
   for _ = 1 to reps do
+    let m0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
     ignore (Runner.time ~config (sweep ~per_word ~n ~iters ~nprocs));
     let dt = Unix.gettimeofday () -. t0 in
+    mwords := Gc.minor_words () -. m0;
     if dt < !best then best := dt
   done;
-  !best
+  (!best, !mwords /. float_of_int (sweep_words ~n ~iters))
+
+(* --- the steady-state hit, measured bare ---
+
+   A single-page, single-processor access stream driven straight through
+   the scratch entry points, with the aspace active and the translation
+   warm: every access is the pure ATC-hit path the zero-alloc contract
+   covers (no effect handlers, no kernel, no Memtxn splitting).  Reads and
+   writes alternate; the page stays single-copy so writes never fault. *)
+let measure_steady ~ops =
+  let config = Config.butterfly_plus ~nprocs:4 ~page_words:1024 () in
+  let policy =
+    Policy.make ~t1:config.Config.t1_freeze_window (Policy.Platinum { thaw_on_fault = false })
+  in
+  let coh =
+    Coherent.create (Machine.create config) ~engine:(Engine.create ()) ~policy
+      ~frames_per_module:64 ()
+  in
+  let cm = Coherent.new_aspace coh in
+  let page = Coherent.new_cpage coh () in
+  Coherent.bind coh cm ~vpage:0 page Rights.Read_write;
+  ignore (Coherent.activate coh ~now:0 ~proc:0 ~aspace:(Cmap.aspace cm));
+  (* Fault the translation in (write access: full rights from the start). *)
+  ignore (Coherent.write_word coh ~now:0 ~proc:0 ~cmap:cm ~vaddr:0 1);
+  let sc = Coherent.make_scratch () in
+  (* Warm-up: promote any lazily-built structure before the window. *)
+  for i = 1 to 1_000 do
+    ignore (Coherent.read_word_s coh sc ~now:(i * 1_000) ~proc:0 ~cmap:cm ~vaddr:0)
+  done;
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to ops do
+    let now = (1_000 + i) * 1_000 in
+    if i land 1 = 0 then ignore (Coherent.read_word_s coh sc ~now ~proc:0 ~cmap:cm ~vaddr:0)
+    else Coherent.write_word_s coh sc ~now ~proc:0 ~cmap:cm ~vaddr:0 i
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dm = Gc.minor_words () -. m0 in
+  (dt, dm /. float_of_int ops)
 
 let run (scale : Exp_common.scale) =
   Exp_common.section "throughput: wall-clock words/second of the memory hot path";
@@ -74,8 +133,10 @@ let run (scale : Exp_common.scale) =
   let iters = if scale.Exp_common.full then 8 else 4 in
   let nprocs = 4 and reps = 3 in
   let words = sweep_words ~n ~iters in
-  let wall_word = measure ~per_word:true ~n ~iters ~nprocs ~reps in
-  let wall_txn = measure ~per_word:false ~n ~iters ~nprocs ~reps in
+  let wall_word, mwpa_word = measure ~per_word:true ~n ~iters ~nprocs ~reps in
+  let wall_txn, mwpa_txn = measure ~per_word:false ~n ~iters ~nprocs ~reps in
+  let steady_ops = 1_000_000 in
+  let steady_wall, mwpa_steady = measure_steady ~ops:steady_ops in
   let rate w = float_of_int words /. w in
   let speedup = rate wall_txn /. rate wall_word in
   Printf.printf "  %d x %d grid, %d iterations, %d procs, %d data words\n" n n iters nprocs
@@ -83,7 +144,23 @@ let run (scale : Exp_common.scale) =
   Printf.printf "  per-word stream: %.3f s wall  (%.0f words/s)\n" wall_word (rate wall_word);
   Printf.printf "  batched stream:  %.3f s wall  (%.0f words/s)\n" wall_txn (rate wall_txn);
   Printf.printf "  batched / per-word throughput: %.1fx\n" speedup;
+  Printf.printf "  minor words/access: steady hit %.3f, per-word stream %.1f, batched %.1f\n"
+    mwpa_steady mwpa_word mwpa_txn;
+  Printf.printf "  steady-state driver: %d accesses in %.3f s (%.0f accesses/s)\n" steady_ops
+    steady_wall (float_of_int steady_ops /. steady_wall);
   Exp_common.check_shape "batched stream moves >= 2x words/sec" (speedup >= 2.0);
+  (* The allocation budget (DESIGN.md section 4e): a steady-state hit may
+     allocate at most 2 minor words (target 0), and must beat the per-word
+     instrumented stream by >= 10x.  The floor in the ratio guards the
+     division when the steady path hits its 0-word target. *)
+  let budget = 2.0 in
+  let reduction = mwpa_word /. Float.max mwpa_steady 0.2 in
+  let budget_ok = mwpa_steady <= budget in
+  let reduction_ok = reduction >= 10.0 in
+  Exp_common.check_shape
+    (Printf.sprintf "steady-state hit allocates <= %.0f minor words/access" budget)
+    budget_ok;
+  Exp_common.check_shape ">= 10x allocation reduction vs per-word stream" reduction_ok;
   let oc = open_out "BENCH_hotpath.json" in
   Printf.fprintf oc
     "{\n\
@@ -95,9 +172,21 @@ let run (scale : Exp_common.scale) =
     \  \"data_words\": %d,\n\
     \  \"per_word\": { \"wall_s\": %.6f, \"words_per_sec\": %.0f },\n\
     \  \"batched\": { \"wall_s\": %.6f, \"words_per_sec\": %.0f },\n\
-    \  \"throughput_ratio\": %.2f\n\
+    \  \"throughput_ratio\": %.2f,\n\
+    \  \"steady_state\": { \"ops\": %d, \"wall_s\": %.6f, \"accesses_per_sec\": %.0f },\n\
+    \  \"minor_words_per_access\": { \"steady_hit\": %.4f, \"per_word_stream\": %.2f, \
+     \"batched_stream\": %.2f },\n\
+    \  \"alloc_budget\": { \"limit\": %.1f, \"ok\": %b }\n\
      }\n"
     (Exp_common.host_json ()) n iters nprocs words wall_word (rate wall_word) wall_txn
-    (rate wall_txn) speedup;
+    (rate wall_txn) speedup steady_ops steady_wall
+    (float_of_int steady_ops /. steady_wall)
+    mwpa_steady mwpa_word mwpa_txn budget
+    (budget_ok && reduction_ok);
   close_out oc;
-  Printf.printf "  wrote BENCH_hotpath.json\n%!"
+  Printf.printf "  wrote BENCH_hotpath.json\n%!";
+  if not (budget_ok && reduction_ok) then begin
+    Printf.printf "  ALLOCATION BUDGET EXCEEDED: steady=%.3f (limit %.1f), reduction=%.1fx\n%!"
+      mwpa_steady budget reduction;
+    exit 1
+  end

@@ -4,18 +4,18 @@
    every figure/ablation sweep — runs once sequentially (-j 1 semantics)
    and once on 4 domains, and the harness checks the two produce
    byte-identical result tables while recording both wall-clocks.  A hold-
-   model micro-benchmark of the event core (legacy pairing Heap vs the
-   array-backed Eheap that now sits under Engine, plus the full Engine
-   dispatch loop) tracks events/sec across the heap swap.  Everything
-   lands in BENCH_sweep.json so the perf trajectory is comparable across
-   machines (host metadata included). *)
+   model micro-benchmark of the event core (the array-backed Eheap that
+   sits under Engine, plus the full Engine dispatch loop) tracks
+   events/sec.  Everything lands in BENCH_sweep.json so the perf
+   trajectory is comparable across machines (host metadata included; a
+   [parallel_meaningful] flag marks whether the host had the domains for
+   the wall-clock comparison to mean anything). *)
 
 open Exp_common
 module Gauss = Platinum_workload.Gauss
 module Mergesort = Platinum_workload.Mergesort
 module Backprop = Platinum_workload.Backprop
 module Outcome = Platinum_workload.Outcome
-module Heap = Platinum_sim.Heap
 module Eheap = Platinum_sim.Eheap
 module Engine = Platinum_sim.Engine
 module Rng = Platinum_sim.Rng
@@ -73,31 +73,6 @@ let timed_render ~jobs =
 let hold_ops = 200_000
 let hold_fill = 64
 
-module PKey = struct
-  type t = int * int
-
-  let compare (t1, s1) (t2, s2) =
-    let c = compare t1 t2 in
-    if c <> 0 then c else compare s1 s2
-end
-
-module PH = Heap.Make (PKey)
-
-let hold_pairing () =
-  let rng = Rng.create 7L in
-  let h = ref PH.empty in
-  for i = 0 to hold_fill - 1 do
-    h := PH.insert (Rng.int rng 1_000, i) i !h
-  done;
-  let seq = ref hold_fill in
-  for _ = 1 to hold_ops do
-    match PH.delete_min !h with
-    | None -> assert false
-    | Some (((t, _), _), rest) ->
-      h := PH.insert (t + 1 + Rng.int rng 1_000, !seq) !seq rest;
-      incr seq
-  done
-
 let hold_eheap () =
   let rng = Rng.create 7L in
   let h = Eheap.create ~capacity:hold_fill ~dummy:0 () in
@@ -147,28 +122,31 @@ let run (_ : scale) =
   let identical = seq_lines = par_lines in
   List.iter print_endline seq_lines;
   let speedup = seq_wall /. par_wall in
+  (* A single-core host runs the "parallel" pass on one domain: it still
+     proves determinism (identical tables), but the wall-clock comparison
+     is meaningless noise, so the comparison line is skipped and the JSON
+     carries [parallel_meaningful: false] with a null speedup. *)
+  let parallel_meaningful = Par.default_jobs () > 1 in
   Printf.printf "\n  sequential (-j 1): %.3f s wall\n" seq_wall;
-  Printf.printf "  parallel   (-j %d): %.3f s wall  (%.2fx)\n" jobs_par par_wall speedup;
+  if parallel_meaningful then
+    Printf.printf "  parallel   (-j %d): %.3f s wall  (%.2fx)\n" jobs_par par_wall speedup
+  else
+    Printf.printf "  (host has %d core(s): parallel wall-clock not meaningful, skipped)\n"
+      (Par.default_jobs ());
   check_shape "-j 4 table byte-identical to -j 1" identical;
   (* ISSUE 2 targets >=3x on a 4-core host; a 1-core host can only confirm
      determinism and the absence of overhead, so gate the shape check on
      the host actually having the cores. *)
   if Par.default_jobs () >= 4 then
-    check_shape "parallel sweep >= 3x on >=4-core host" (speedup >= 3.0)
-  else
-    Printf.printf "  (host has %d core(s): wall-clock speedup not expected here)\n"
-      (Par.default_jobs ());
-  let wall_pairing = best_of ~reps:3 hold_pairing in
+    check_shape "parallel sweep >= 3x on >=4-core host" (speedup >= 3.0);
   let wall_eheap = best_of ~reps:3 hold_eheap in
   let wall_engine = best_of ~reps:3 engine_churn in
   let rate w = float_of_int hold_ops /. w in
   Printf.printf "\n  event core (hold model, %d ops, %d pending):\n" hold_ops hold_fill;
-  Printf.printf "    pairing heap  %12.0f events/s\n" (rate wall_pairing);
-  Printf.printf "    eheap         %12.0f events/s  (%.2fx)\n" (rate wall_eheap)
-    (rate wall_eheap /. rate wall_pairing);
+  Printf.printf "    eheap         %12.0f events/s\n" (rate wall_eheap);
   Printf.printf "    engine (on eheap) %8.0f events/s\n" (rate wall_engine);
-  check_shape "eheap moves more events/sec than the pairing heap"
-    (rate wall_eheap > rate wall_pairing);
+  check_shape "engine dispatch within 10x of the bare event heap"
+    (rate wall_engine *. 10.0 >= rate wall_eheap);
   let oc = open_out "BENCH_sweep.json" in
   Printf.fprintf oc
     "{\n\
@@ -177,20 +155,18 @@ let run (_ : scale) =
     \  \"grid_cells\": %d,\n\
     \  \"sequential\": { \"jobs\": 1, \"wall_s\": %.6f },\n\
     \  \"parallel\": { \"jobs\": %d, \"wall_s\": %.6f },\n\
-    \  \"speedup\": %.2f,\n\
+    \  \"parallel_meaningful\": %b,\n\
+    \  \"speedup\": %s,\n\
     \  \"identical_output\": %b,\n\
     \  \"event_core\": {\n\
     \    \"hold_ops\": %d,\n\
     \    \"hold_pending\": %d,\n\
-    \    \"pairing_events_per_sec\": %.0f,\n\
     \    \"eheap_events_per_sec\": %.0f,\n\
-    \    \"eheap_over_pairing\": %.2f,\n\
     \    \"engine_events_per_sec\": %.0f\n\
     \  }\n\
      }\n"
-    (host_json ()) (List.length grid) seq_wall jobs_par par_wall speedup identical hold_ops
-    hold_fill (rate wall_pairing) (rate wall_eheap)
-    (rate wall_eheap /. rate wall_pairing)
-    (rate wall_engine);
+    (host_json ()) (List.length grid) seq_wall jobs_par par_wall parallel_meaningful
+    (if parallel_meaningful then Printf.sprintf "%.2f" speedup else "null")
+    identical hold_ops hold_fill (rate wall_eheap) (rate wall_engine);
   close_out oc;
   Printf.printf "  wrote BENCH_sweep.json\n%!"

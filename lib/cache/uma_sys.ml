@@ -109,6 +109,7 @@ let memsys t =
      loop per word.  Memtxn.run threads the accumulated latency through
      chunk boundaries, making this bit-identical to the old per-word
      closures. *)
+  let scratch = Some (Memtxn.make_scratch ()) in
   let submit ~now ~proc ~aspace:_ txn =
     let chunk_cost ~now ~data (c : Memtxn.chunk) =
       let vaddr = c.Memtxn.c_vaddr in
@@ -149,7 +150,7 @@ let memsys t =
         done;
         !lat
     in
-    Memtxn.run ~page_words:t.page_words ~now txn ~chunk_cost
+    Memtxn.run ~page_words:t.page_words ~now ?scratch txn ~chunk_cost
   in
   let aspace_count = ref 1 in
   {

@@ -137,7 +137,7 @@ let fingerprint sys =
         (procset_bits page.Cpage.copy_mask);
       (* Copies sorted by module; only the module and the data matter. *)
       let copies =
-        page.Cpage.copies
+        Cpage.copies page
         |> List.map (fun f ->
                let words = ref [] in
                for i = sys.page_words - 1 downto 0 do

@@ -1,11 +1,11 @@
 type t = {
   atc_proc : int;
   mutable aspace : int;  (* -1 = none *)
-  entries : (int, Pmap.entry) Hashtbl.t;
+  entries : Pmap.entry Flat.t;
   (* Micro-ATC: the last translation this processor used (numaPTE's
      locality argument applied to the simulator's own hot path).  Accesses
-     that stay on one page skip the hash lookup entirely; it mirrors an
-     [entries] slot exactly, so every path that drops an entry must also
+     that stay on one page skip even the dense-table load; it mirrors an
+     [entries] cell exactly, so every path that drops an entry must also
      drop the mirror.  Purely a host-speed device: a hit here costs the
      same simulated 0 ns as any ATC hit. *)
   mutable last_vpage : int;  (* -1 = empty *)
@@ -13,7 +13,7 @@ type t = {
 }
 
 let create ~proc =
-  { atc_proc = proc; aspace = -1; entries = Hashtbl.create 64; last_vpage = -1; last_entry = None }
+  { atc_proc = proc; aspace = -1; entries = Flat.create (); last_vpage = -1; last_entry = None }
 
 let proc t = t.atc_proc
 let active_aspace t = if t.aspace < 0 then None else Some t.aspace
@@ -23,7 +23,7 @@ let clear_last t =
   t.last_entry <- None
 
 let flush t =
-  Hashtbl.reset t.entries;
+  Flat.clear t.entries;
   clear_last t
 
 let activate t ~aspace =
@@ -38,11 +38,12 @@ let deactivate t =
   flush t;
   t.aspace <- -1
 
+(* Both arms return the stored option cell — a hit never allocates. *)
 let find t ~aspace ~vpage =
   if t.aspace <> aspace then None
   else if vpage = t.last_vpage then t.last_entry
   else begin
-    match Hashtbl.find_opt t.entries vpage with
+    match Flat.find t.entries vpage with
     | Some _ as hit ->
       t.last_vpage <- vpage;
       t.last_entry <- hit;
@@ -52,25 +53,25 @@ let find t ~aspace ~vpage =
 
 let load t ~vpage entry =
   if t.aspace < 0 then invalid_arg "Atc.load: no active address space";
-  Hashtbl.replace t.entries vpage entry;
+  Flat.set t.entries vpage entry;
   t.last_vpage <- vpage;
   t.last_entry <- Some entry
 
 let invalidate t ~aspace ~vpage =
   if t.aspace = aspace then begin
-    Hashtbl.remove t.entries vpage;
+    Flat.remove t.entries vpage;
     if vpage = t.last_vpage then clear_last t
   end
 
-let size t = Hashtbl.length t.entries
+let size t = Flat.length t.entries
 
 (* Sanitizer hooks.  [peek] is [find] without the micro-ATC mirror update:
    the monitor must be able to ask "does this ATC still hold a translation?"
    without perturbing the state it is checking. *)
 let peek t ~aspace ~vpage =
-  if t.aspace <> aspace then None else Hashtbl.find_opt t.entries vpage
+  if t.aspace <> aspace then None else Flat.find t.entries vpage
 
-let iter f t = Hashtbl.iter f t.entries
+let iter f t = Flat.iter f t.entries
 
 let check_faults t =
   if t.last_vpage < 0 then
@@ -81,7 +82,7 @@ let check_faults t =
         (Check.fault ~inv:"micro-atc-mirror" ~cite:"PR 1"
            "ATC of proc %d: mirror entry with no mirror vpage" t.atc_proc)
   else
-    match t.last_entry, Hashtbl.find_opt t.entries t.last_vpage with
+    match t.last_entry, Flat.find t.entries t.last_vpage with
     | Some a, Some b when a == b -> None
     | None, _ ->
       Some

@@ -14,12 +14,20 @@ type message = {
   msg_vpage : int;
   msg_directive : directive;
   mutable msg_targets : Procset.t;
+  mutable msg_done : bool;
 }
 
+(* Retraction used to rebuild the queue with [List.filter] every time a
+   message's target mask emptied — O(queue length) per retract.  A retired
+   message is now just flagged [msg_done] (O(1)) and physically dropped by
+   a lazy compaction that runs only when retired messages are at least half
+   the queue, so each message pays for its own removal: amortized O(1). *)
 type t = {
   aspace_id : int;
-  entries : (int, centry) Hashtbl.t;
-  mutable queue : message list;  (* newest first; order is irrelevant to targets *)
+  entries : centry Flat.t;
+  mutable queue : message list;  (* newest first; may contain flagged-done messages *)
+  mutable queue_len : int;  (* including flagged-done *)
+  mutable queue_dead : int;  (* flagged-done still physically present *)
   mutable active_set : Procset.t;
   pmaps : Pmap.t array;
   mutable posted : int;
@@ -28,8 +36,10 @@ type t = {
 let create ~aspace ~nprocs =
   {
     aspace_id = aspace;
-    entries = Hashtbl.create 256;
+    entries = Flat.create ();
     queue = [];
+    queue_len = 0;
+    queue_dead = 0;
     active_set = Procset.empty;
     pmaps = Array.init nprocs (fun proc -> Pmap.create ~proc);
     posted = 0;
@@ -43,28 +53,41 @@ let set_active t ~proc flag =
   t.active_set <-
     (if flag then Procset.add proc t.active_set else Procset.remove proc t.active_set)
 
-let find t ~vpage = Hashtbl.find_opt t.entries vpage
+let find t ~vpage = Flat.find t.entries vpage
 
 let bind t ~vpage cpage vrights =
-  if Hashtbl.mem t.entries vpage then
+  if Flat.mem t.entries vpage then
     invalid_arg (Printf.sprintf "Cmap.bind: vpage %d already bound in aspace %d" vpage t.aspace_id);
   let e = { cpage; vrights; refmask = Procset.empty } in
-  Hashtbl.replace t.entries vpage e;
+  Flat.set t.entries vpage e;
   e
 
-let unbind t ~vpage = Hashtbl.remove t.entries vpage
-let iter f t = Hashtbl.iter f t.entries
-let nbindings t = Hashtbl.length t.entries
+let unbind t ~vpage = Flat.remove t.entries vpage
+let iter f t = Flat.iter f t.entries
+let nbindings t = Flat.length t.entries
 
 let post t msg =
+  if msg.msg_done then invalid_arg "Cmap.post: message already retired";
   t.queue <- msg :: t.queue;
+  t.queue_len <- t.queue_len + 1;
   t.posted <- t.posted + 1
+
+let compact t =
+  t.queue <- List.filter (fun m -> not m.msg_done) t.queue;
+  t.queue_len <- t.queue_len - t.queue_dead;
+  t.queue_dead <- 0
 
 let complete t msg ~proc =
   msg.msg_targets <- Procset.remove proc msg.msg_targets;
-  if Procset.is_empty msg.msg_targets then t.queue <- List.filter (fun m -> m != msg) t.queue
+  if Procset.is_empty msg.msg_targets && not msg.msg_done then begin
+    msg.msg_done <- true;
+    t.queue_dead <- t.queue_dead + 1;
+    if 2 * t.queue_dead >= t.queue_len then compact t
+  end
 
-let pending_messages t = t.queue
+let pending_messages t =
+  if t.queue_dead = 0 then t.queue else List.filter (fun m -> not m.msg_done) t.queue
+
 let messages_posted t = t.posted
 
 (* Aspace-level invariants: the reference masks and the per-processor
@@ -81,7 +104,7 @@ let check_faults t =
         if !fault = None then fault := Some { Check.inv; cite; detail; cpage })
       fmt
   in
-  Hashtbl.iter
+  Flat.iter
     (fun vpage ce ->
       let page = ce.cpage in
       Procset.iter
@@ -91,7 +114,7 @@ let check_faults t =
             fail ~cpage:page.Cpage.id ~inv:"refmask-pmap-agreement" ~cite:"§3.1"
               "aspace %d vpage %d: proc %d in refmask without a Pmap entry" t.aspace_id vpage p
           | Some e ->
-            if not (List.memq e.Pmap.frame page.Cpage.copies) then
+            if not (Cpage.mem_frame page e.Pmap.frame) then
               fail ~cpage:page.Cpage.id ~inv:"translation-in-directory" ~cite:"§3.1/§3.2"
                 "aspace %d vpage %d: proc %d maps a frame outside the directory" t.aspace_id
                 vpage p
@@ -110,7 +133,7 @@ let check_faults t =
     (fun p pmap ->
       Pmap.iter
         (fun vpage _e ->
-          match Hashtbl.find_opt t.entries vpage with
+          match Flat.find t.entries vpage with
           | None ->
             fail ~inv:"stale-translation" ~cite:"§3.1"
               "aspace %d: proc %d holds a translation for unbound vpage %d" t.aspace_id p vpage
@@ -119,6 +142,18 @@ let check_faults t =
               fail ~cpage:ce.cpage.Cpage.id ~inv:"refmask-pmap-agreement" ~cite:"§3.1"
                 "aspace %d vpage %d: proc %d holds a Pmap entry but is absent from the refmask"
                 t.aspace_id vpage p)
-        pmap)
+        pmap;
+      (* The flat representation's own invariant: the packed mirror must
+         track the entry table. *)
+      match Pmap.check_faults pmap with
+      | Some f -> if !fault = None then fault := Some f
+      | None -> ())
     t.pmaps;
+  (* Queue bookkeeping must agree with the queue itself. *)
+  (if !fault = None then
+     let dead = List.length (List.filter (fun m -> m.msg_done) t.queue) in
+     if List.length t.queue <> t.queue_len || dead <> t.queue_dead then
+       fail ~inv:"retired-message-accounting" ~cite:"PR 5"
+         "aspace %d: queue holds %d messages (%d retired), counters say %d (%d)" t.aspace_id
+         (List.length t.queue) dead t.queue_len t.queue_dead);
   !fault

@@ -26,6 +26,8 @@ type message = {
   msg_directive : directive;
   mutable msg_targets : Platinum_machine.Procset.t;
       (** processors that still have to apply the change *)
+  mutable msg_done : bool;
+      (** retired (target mask emptied); the queue drops it lazily *)
 }
 
 type t
@@ -54,10 +56,15 @@ val post : t -> message -> unit
     accumulate in [messages_posted]. *)
 
 val complete : t -> message -> proc:int -> unit
-(** Mark one target as having applied the message; the message leaves the
-    queue when its target mask empties. *)
+(** Mark one target as having applied the message; the message retires
+    (is flagged [msg_done]) when its target mask empties.  Retired
+    messages are physically dropped by a lazy compaction that runs when
+    they reach half the queue — amortized O(1) per retraction, where the
+    seed rebuilt the whole queue each time. *)
 
 val pending_messages : t -> message list
+(** Live (non-retired) messages, newest first. *)
+
 val messages_posted : t -> int
 
 (* --- sanitizer hook --- *)
@@ -67,5 +74,8 @@ val check_faults : t -> Check.fault option
     live Pmap entry and vice versa (refmask-pmap-agreement, §3.1), every
     translation points into its page's directory (translation-in-directory),
     a write translation implies the page is write-mapped with a single copy
-    (write-flag-agreement / replicas-read-only, §3.2), and no Pmap entry
-    survives for an unbound vpage (stale-translation). *)
+    (write-flag-agreement / replicas-read-only, §3.2), no Pmap entry
+    survives for an unbound vpage (stale-translation), each Pmap's packed
+    mirror tracks its entry table (packed-mirror), and the message queue's
+    length/retired counters agree with the queue
+    (retired-message-accounting). *)

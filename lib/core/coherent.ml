@@ -6,6 +6,15 @@ module Frame = Platinum_phys.Frame
 module Phys_mem = Platinum_phys.Phys_mem
 module Engine = Platinum_sim.Engine
 
+(* Reusable per-caller result slot for the allocation-free word paths:
+   [read_word_s] and friends write the latency here and return the bare
+   value, so a steady-state hit builds no tuple, option or closure.  Not
+   reentrant — one scratch per access stream. *)
+type scratch = { mutable s_latency : int }
+
+let make_scratch () = { s_latency = 0 }
+let scratch_latency sc = sc.s_latency
+
 type t = {
   machine : Machine.t;
   phys : Phys_mem.t;
@@ -24,6 +33,8 @@ type t = {
   mutable in_daemon : bool;  (* a thaw_all (defrost) pass is running *)
   mutable freeze_hook : (now:int -> Cpage.t -> unit) option;  (* defrost daemon's *)
   mutable monitor : Check.monitor option;  (* the runtime invariant monitor *)
+  scratch : scratch;  (* submit's own result slot for word transactions *)
+  txn_scratch : Memtxn.scratch option;  (* pre-wrapped for [?scratch:] passing *)
 }
 
 let machine t = t.machine
@@ -33,10 +44,13 @@ let counters t = t.counters
 let policy t = t.policy
 let page_words t = Phys_mem.page_words t.phys
 
+(* [Hashtbl.find] + exception match rather than [find_opt]: the cachable
+   test on the read hit path lands here, and [find_opt] would allocate a
+   [Some] per access. *)
 let mappings_of t (page : Cpage.t) =
-  match Hashtbl.find_opt t.mappings page.Cpage.id with
-  | None -> []
-  | Some r -> !r
+  match Hashtbl.find t.mappings page.Cpage.id with
+  | r -> !r
+  | exception Not_found -> []
 
 (* --- the machine-wide invariant sweep (structured) --- *)
 
@@ -50,12 +64,12 @@ let check_faults t =
     (fun _ (page : Cpage.t) ->
       (match Cpage.check_faults page with Ok () -> () | Error f -> keep f);
       (* Directory frames must be owned by this page. *)
-      List.iter
+      Cpage.iter_copies
         (fun f ->
           if Frame.owner f <> Some page.Cpage.id then
             fail ~cpage:page.Cpage.id ~inv:"directory-ownership" ~cite:"§2.3"
               "directory frame on module %d not owned by this page" (Frame.mem_module f))
-        page.Cpage.copies;
+        page;
       if page.Cpage.frozen && not (List.memq page t.frozen_list) then
         fail ~cpage:page.Cpage.id ~inv:"frozen-list-agreement" ~cite:"§4.2"
           "frozen but not on the frozen list")
@@ -236,6 +250,8 @@ let create machine ~engine:_ ~policy ?(frames_per_module = 1024) () =
     freeze_hook = None;
     (* PLATINUM_CHECK=1 arms the coherence sanitizer at construction. *)
     monitor = (if Check.env_enabled () then Some (Check.create_monitor ()) else None);
+    scratch = make_scratch ();
+    txn_scratch = Some (Memtxn.make_scratch ());
   }
 
 let new_aspace t =
@@ -322,12 +338,11 @@ let translate t ~now ~proc ~cmap:cm ~vpage ~write =
   let aspace = Cmap.aspace cm in
   let act = activate t ~now ~proc ~aspace in
   let atc = t.atcs.(proc) in
-  let sufficient (e : Pmap.entry) = (not write) || e.Pmap.write_ok in
   match Atc.find atc ~aspace ~vpage with
-  | Some e when sufficient e -> (e, act)
+  | Some e when (not write) || e.Pmap.write_ok -> (e, act)
   | _ -> (
     match Pmap.find (Cmap.pmap cm ~proc) ~vpage with
-    | Some e when sufficient e ->
+    | Some e when (not write) || e.Pmap.write_ok ->
       Atc.load atc ~vpage e;
       t.counters.Counters.atc_reloads <- t.counters.Counters.atc_reloads + 1;
       (e, act + (config t).Config.atc_reload_ns)
@@ -340,54 +355,150 @@ let translate t ~now ~proc ~cmap:cm ~vpage ~write =
       (entry, act + lat))
 
 (* §7: "Almost all data is cachable.  Only modified Cpages that are mapped
-   by remote processors cannot be cached." *)
+   by remote processors cannot be cached."  The mapping walk is a plain
+   top-level recursion: a [List.for_all] closure would be allocated on
+   every cached read. *)
+let rec only_holder_maps holder = function
+  | [] -> true
+  | (cm, vpage) :: rest -> (
+    match Cmap.find cm ~vpage with
+    | None -> only_holder_maps holder rest
+    | Some ce ->
+      Procset.subset ce.Cmap.refmask (Procset.singleton holder)
+      && only_holder_maps holder rest)
+
 let cachable t (page : Cpage.t) =
   match page.Cpage.state with
   | Cpage.Empty | Cpage.Present1 | Cpage.Present_plus -> true
   | Cpage.Modified ->
     let holder = Platinum_phys.Frame.mem_module (Cpage.any_copy page) in
-    List.for_all
-      (fun (cm, vpage) ->
-        match Cmap.find cm ~vpage with
-        | None -> true
-        | Some ce -> Procset.subset ce.Cmap.refmask (Procset.singleton holder))
-      (mappings_of t page)
+    only_holder_maps holder (mappings_of t page)
 
-(* A cached word read: hit avoids the interconnect entirely.  [page] is
-   the coherent page backing the (already translated) access. *)
-let try_cache_read t ~proc ~vaddr page =
-  match Machine.cache t.machine ~proc with
-  | None -> `No_cache
-  | Some c ->
-    if not (cachable t page) then `No_cache
-    else if Platinum_machine.Cache.lookup c ~addr:vaddr then `Hit
-    else `Miss c
+(* --- the allocation-free word paths ---
+
+   [finish_*] complete an access after translation.  The semantics (cache
+   consultation, write-through invalidation, latency accounting) are
+   byte-for-byte those of the seed's [chunk_cost], restructured so a
+   steady-state hit — active aspace, ATC hit, sufficient rights — runs
+   from [read_word_s]/[write_word_s] to the returned value without
+   allocating a single minor-heap word: no options ([Atc.find]/[Cmap.find]
+   return stored cells), no tuples (latency goes through the scratch), no
+   closures (top-level functions, plain loops), no polymorphic-variant
+   dispatch (the old [`Miss c] cache probe is inlined). *)
+
+let page_of cm ~vpage =
+  match Cmap.find cm ~vpage with
+  | Some ce -> ce.Cmap.cpage
+  | None -> assert false (* only called after a successful translation *)
+
+let finish_read t (sc : scratch) ~now ~proc ~cm ~vpage ~vaddr ~l1 (e : Pmap.entry) =
+  let cfg = config t in
+  let frame = e.Pmap.frame in
+  let lat =
+    if
+      Machine.caches_enabled t.machine
+      && cachable t (page_of cm ~vpage)
+    then begin
+      let c = Machine.cache_exn t.machine ~proc in
+      if Platinum_machine.Cache.lookup c ~addr:vaddr then cfg.Config.t_cache_hit
+      else begin
+        let l2 =
+          Xbar.word_access ?inject:(Machine.inject t.machine) cfg (Machine.modules t.machine)
+            ~now:(now + l1) ~proc ~mem_module:(Frame.mem_module frame) Xbar.Read
+        in
+        Platinum_machine.Cache.fill c ~addr:vaddr;
+        l2
+      end
+    end
+    else
+      Xbar.word_access ?inject:(Machine.inject t.machine) cfg (Machine.modules t.machine)
+        ~now:(now + l1) ~proc ~mem_module:(Frame.mem_module frame) Xbar.Read
+  in
+  sc.s_latency <- l1 + lat;
+  Frame.get frame (vaddr mod page_words t)
 
 (* Writes are write-through; other processors' cached copies of the word
    are invalidated in software (there is no snooping hardware, §7). *)
-let after_write t ~proc ~vaddr page =
+let after_write_inline t ~proc ~cm ~vpage ~vaddr =
   if Machine.caches_enabled t.machine then begin
     Machine.invalidate_cached_range_all t.machine ~addr:vaddr ~words:1;
-    match Machine.cache t.machine ~proc with
-    | Some c when cachable t page -> Platinum_machine.Cache.fill c ~addr:vaddr
-    | Some _ | None -> ()
+    if cachable t (page_of cm ~vpage) then
+      Platinum_machine.Cache.fill (Machine.cache_exn t.machine ~proc) ~addr:vaddr
   end
 
-(* The one access path.  Memtxn.run drives the per-page chunk loop and the
-   latency accumulation; this chunk_cost supplies the PLATINUM semantics
-   per transaction kind:
+let finish_write t (sc : scratch) ~now ~proc ~cm ~vpage ~vaddr ~l1 (e : Pmap.entry) v =
+  let cfg = config t in
+  let frame = e.Pmap.frame in
+  let l2 =
+    Xbar.word_access ?inject:(Machine.inject t.machine) cfg (Machine.modules t.machine)
+      ~now:(now + l1) ~proc ~mem_module:(Frame.mem_module frame) Xbar.Write
+  in
+  Frame.set frame (vaddr mod page_words t) v;
+  after_write_inline t ~proc ~cm ~vpage ~vaddr;
+  sc.s_latency <- l1 + l2
 
-   - word reads consult the per-processor cache (hit: [t_cache_hit], no
-     interconnect traffic; miss: word access + fill when cachable);
-   - word writes and rmw are write-through and invalidate other caches;
-   - block and strided transfers bypass the word caches entirely (they are
-     hardware block transfers, §7) but still make cached copies of the
-     touched range stale.
+let finish_rmw t (sc : scratch) ~now ~proc ~cm ~vpage ~vaddr ~l1 (e : Pmap.entry) f =
+  let cfg = config t in
+  let frame = e.Pmap.frame in
+  let off = vaddr mod page_words t in
+  let l2 =
+    Xbar.word_access ?inject:(Machine.inject t.machine) cfg (Machine.modules t.machine)
+      ~now:(now + l1) ~proc ~mem_module:(Frame.mem_module frame) Xbar.Rmw
+  in
+  let old = Frame.get frame off in
+  Frame.set frame off (f old);
+  after_write_inline t ~proc ~cm ~vpage ~vaddr;
+  sc.s_latency <- l1 + l2;
+  old
 
-   Each chunk translates through {!translate} at the time it begins, so a
-   fault raised mid-transaction is charged exactly as the unbatched
-   per-word stream would charge it. *)
-let submit t ~now ~proc ~cmap:cm txn =
+let read_word_s t sc ~now ~proc ~cmap:cm ~vaddr =
+  let vpage = vaddr / page_words t in
+  let aspace = Cmap.aspace cm in
+  if t.active_aspace.(proc) = aspace then
+    match Atc.find t.atcs.(proc) ~aspace ~vpage with
+    | Some e -> finish_read t sc ~now ~proc ~cm ~vpage ~vaddr ~l1:0 e
+    | None ->
+      let e, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
+      finish_read t sc ~now ~proc ~cm ~vpage ~vaddr ~l1 e
+  else
+    let e, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
+    finish_read t sc ~now ~proc ~cm ~vpage ~vaddr ~l1 e
+
+let write_word_s t sc ~now ~proc ~cmap:cm ~vaddr v =
+  let vpage = vaddr / page_words t in
+  let aspace = Cmap.aspace cm in
+  if t.active_aspace.(proc) = aspace then
+    match Atc.find t.atcs.(proc) ~aspace ~vpage with
+    | Some e when e.Pmap.write_ok -> finish_write t sc ~now ~proc ~cm ~vpage ~vaddr ~l1:0 e v
+    | _ ->
+      let e, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+      finish_write t sc ~now ~proc ~cm ~vpage ~vaddr ~l1 e v
+  else
+    let e, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+    finish_write t sc ~now ~proc ~cm ~vpage ~vaddr ~l1 e v
+
+let rmw_word_s t sc ~now ~proc ~cmap:cm ~vaddr f =
+  let vpage = vaddr / page_words t in
+  let aspace = Cmap.aspace cm in
+  if t.active_aspace.(proc) = aspace then
+    match Atc.find t.atcs.(proc) ~aspace ~vpage with
+    | Some e when e.Pmap.write_ok -> finish_rmw t sc ~now ~proc ~cm ~vpage ~vaddr ~l1:0 e f
+    | _ ->
+      let e, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+      finish_rmw t sc ~now ~proc ~cm ~vpage ~vaddr ~l1 e f
+  else
+    let e, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
+    finish_rmw t sc ~now ~proc ~cm ~vpage ~vaddr ~l1 e f
+
+(* The multi-word access path.  Memtxn.run drives the per-page chunk loop
+   and the latency accumulation; this chunk_cost supplies the PLATINUM
+   semantics: block and strided transfers bypass the word caches entirely
+   (they are hardware block transfers, §7) but still make cached copies of
+   the touched range stale.  Each chunk translates through {!translate} at
+   the time it begins, so a fault raised mid-transaction is charged exactly
+   as the unbatched per-word stream would charge it; the data plane of a
+   chunk is one [Array.blit] against the frame. *)
+let submit_block t ~now ~proc ~cmap:cm txn =
   let cfg = config t in
   let modules = Machine.modules t.machine in
   let pw = page_words t in
@@ -429,54 +540,8 @@ let submit t ~now ~proc ~cmap:cm txn =
     let vaddr = c.Memtxn.c_vaddr in
     let vpage = vaddr / pw and off = vaddr mod pw in
     match txn with
-    | Memtxn.Read _ ->
-      let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
-      let frame = entry.Pmap.frame in
-      let page =
-        match Cmap.find cm ~vpage with
-        | Some ce -> ce.Cmap.cpage
-        | None -> assert false (* translate just succeeded *)
-      in
-      (match try_cache_read t ~proc ~vaddr page with
-      | `Hit ->
-        data.(0) <- Frame.get frame off;
-        l1 + cfg.Config.t_cache_hit
-      | (`Miss _ | `No_cache) as m ->
-        let l2 =
-          Xbar.word_access ?inject:inj cfg modules ~now:(now + l1) ~proc
-            ~mem_module:(Frame.mem_module frame) Xbar.Read
-        in
-        (match m with
-        | `Miss c -> Platinum_machine.Cache.fill c ~addr:vaddr
-        | `No_cache -> ());
-        data.(0) <- Frame.get frame off;
-        l1 + l2)
-    | Memtxn.Write _ ->
-      let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
-      let frame = entry.Pmap.frame in
-      let l2 =
-        Xbar.word_access ?inject:inj cfg modules ~now:(now + l1) ~proc
-          ~mem_module:(Frame.mem_module frame) Xbar.Write
-      in
-      Frame.set frame off data.(0);
-      (match Cmap.find cm ~vpage with
-      | Some ce -> after_write t ~proc ~vaddr ce.Cmap.cpage
-      | None -> ());
-      l1 + l2
-    | Memtxn.Rmw { f; _ } ->
-      let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
-      let frame = entry.Pmap.frame in
-      let l2 =
-        Xbar.word_access ?inject:inj cfg modules ~now:(now + l1) ~proc
-          ~mem_module:(Frame.mem_module frame) Xbar.Rmw
-      in
-      let old = Frame.get frame off in
-      Frame.set frame off (f old);
-      data.(0) <- old;
-      (match Cmap.find cm ~vpage with
-      | Some ce -> after_write t ~proc ~vaddr ce.Cmap.cpage
-      | None -> ());
-      l1 + l2
+    | Memtxn.Read _ | Memtxn.Write _ | Memtxn.Rmw _ ->
+      assert false (* word transactions take the scratch path in [submit] *)
     | Memtxn.Block_read _ | Memtxn.Stride_read _ ->
       let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:false in
       let frame = entry.Pmap.frame in
@@ -484,9 +549,7 @@ let submit t ~now ~proc ~cmap:cm txn =
         block_xfer ~now:(now + l1) ~mem_module:(Frame.mem_module frame) Xbar.Read
           ~words:c.Memtxn.c_words
       in
-      for i = 0 to c.Memtxn.c_words - 1 do
-        data.(c.Memtxn.c_index + i) <- Frame.get frame (off + i)
-      done;
+      Frame.read_words frame ~off ~dst:data ~dst_off:c.Memtxn.c_index ~words:c.Memtxn.c_words;
       l1 + l2
     | Memtxn.Block_write _ | Memtxn.Stride_write _ ->
       let entry, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
@@ -495,31 +558,45 @@ let submit t ~now ~proc ~cmap:cm txn =
         block_xfer ~now:(now + l1) ~mem_module:(Frame.mem_module frame) Xbar.Write
           ~words:c.Memtxn.c_words
       in
-      for i = 0 to c.Memtxn.c_words - 1 do
-        Frame.set frame (off + i) data.(c.Memtxn.c_index + i)
-      done;
+      Frame.write_words frame ~off ~src:data ~src_off:c.Memtxn.c_index ~words:c.Memtxn.c_words;
       (* Block writes bypass the caches but still make cached copies of
          the run stale. *)
       if Machine.caches_enabled t.machine then
         Machine.invalidate_cached_range_all t.machine ~addr:vaddr ~words:c.Memtxn.c_words;
       l1 + l2
   in
-  Memtxn.run ~page_words:pw ~now txn ~chunk_cost
+  Memtxn.run ~page_words:pw ~now ?scratch:t.txn_scratch txn ~chunk_cost
+
+(* The one access path: word transactions go through the scratch fast
+   cores (same semantics, no per-word allocation), multi-word transactions
+   through the shared Memtxn chunk loop. *)
+let submit t ~now ~proc ~cmap:cm txn =
+  match txn with
+  | Memtxn.Read { vaddr } ->
+    let v = read_word_s t t.scratch ~now ~proc ~cmap:cm ~vaddr in
+    (Memtxn.Word v, t.scratch.s_latency)
+  | Memtxn.Write { vaddr; value } ->
+    write_word_s t t.scratch ~now ~proc ~cmap:cm ~vaddr value;
+    (Memtxn.Unit, t.scratch.s_latency)
+  | Memtxn.Rmw { vaddr; f } ->
+    let old = rmw_word_s t t.scratch ~now ~proc ~cmap:cm ~vaddr f in
+    (Memtxn.Word old, t.scratch.s_latency)
+  | Memtxn.Block_read _ | Memtxn.Block_write _ | Memtxn.Stride_read _ | Memtxn.Stride_write _
+    -> submit_block t ~now ~proc ~cmap:cm txn
 
 (* Single-op conveniences, kept for tests and callers that move one word. *)
 
 let read_word t ~now ~proc ~cmap ~vaddr =
-  match submit t ~now ~proc ~cmap (Memtxn.Read { vaddr }) with
-  | Memtxn.Word v, lat -> (v, lat)
-  | _ -> assert false
+  let v = read_word_s t t.scratch ~now ~proc ~cmap ~vaddr in
+  (v, t.scratch.s_latency)
 
 let write_word t ~now ~proc ~cmap ~vaddr v =
-  snd (submit t ~now ~proc ~cmap (Memtxn.Write { vaddr; value = v }))
+  write_word_s t t.scratch ~now ~proc ~cmap ~vaddr v;
+  t.scratch.s_latency
 
 let rmw_word t ~now ~proc ~cmap ~vaddr f =
-  match submit t ~now ~proc ~cmap (Memtxn.Rmw { vaddr; f }) with
-  | Memtxn.Word old, lat -> (old, lat)
-  | _ -> assert false
+  let old = rmw_word_s t t.scratch ~now ~proc ~cmap ~vaddr f in
+  (old, t.scratch.s_latency)
 
 let block_read t ~now ~proc ~cmap ~vaddr ~len =
   match submit t ~now ~proc ~cmap (Memtxn.Block_read { vaddr; len }) with
@@ -551,7 +628,7 @@ let collapse_to t ~now ~proc ~keep_on (page : Cpage.t) =
     | Some f -> Some f
     | None -> (
       match Phys_mem.alloc_local t.phys ~mem_module:keep_on ~cpage:page.Cpage.id with
-      | None -> (match page.Cpage.copies with [] -> None | f :: _ -> Some f)
+      | None -> (if Cpage.ncopies page = 0 then None else Some (Cpage.any_copy page))
       | Some fresh ->
         lat := !lat + cfg.Config.alloc_map_remote_ns;
         let inj = Machine.inject t.machine in
@@ -590,7 +667,7 @@ let collapse_to t ~now ~proc ~keep_on (page : Cpage.t) =
           lat := !lat + cfg.Config.page_free_ns;
           t.counters.Counters.pages_freed <- t.counters.Counters.pages_freed + 1
         end)
-      page.Cpage.copies;
+      (Cpage.copies page);
     page.Cpage.write_mapped <- false;
     Cpage.sync_state page;
     !lat

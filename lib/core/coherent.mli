@@ -47,6 +47,33 @@ val activate : t -> now:Platinum_sim.Time_ns.t -> proc:int -> aspace:int -> int
 
 (* --- the access paths --- *)
 
+(** Reusable result slot for the allocation-free word paths: the [_s]
+    variants below write their latency into the scratch and return the
+    bare value, so a steady-state hit (active aspace, ATC hit, sufficient
+    rights) allocates zero minor-heap words.  Not reentrant — use one
+    scratch per access stream; the tupled conveniences ({!read_word} and
+    friends) use an internal one. *)
+type scratch
+
+val make_scratch : unit -> scratch
+
+val scratch_latency : scratch -> int
+(** Latency of the most recent [_s] access through this scratch. *)
+
+val read_word_s :
+  t -> scratch -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int -> int
+(** The word value; latency via {!scratch_latency}.  Semantically identical
+    to {!read_word} (same faults, same cache and interconnect charging). *)
+
+val write_word_s :
+  t -> scratch -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int ->
+  int -> unit
+
+val rmw_word_s :
+  t -> scratch -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vaddr:int ->
+  (int -> int) -> int
+(** The old value; latency via {!scratch_latency}. *)
+
 val translate :
   t ->
   now:Platinum_sim.Time_ns.t ->

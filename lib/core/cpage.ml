@@ -22,11 +22,24 @@ type stats = {
   mutable was_frozen : bool;
 }
 
+(* The directory.  At most one backing frame per memory module (the
+   protocol invariant the old list silently relied on), so the copy set is
+   a frame slot per module indexed by the module number — the same index
+   space as the [Procset.t] bit mask.  Add, remove and membership are one
+   array access instead of the old list scans (cpage.ml:97-99 of the seed).
+
+   [slot_seq] stamps each insertion: the protocol's replication source
+   choice ([any_copy]) was "most recently added copy" when the directory
+   was a cons list, and golden-trace determinism depends on preserving
+   exactly that choice. *)
 type t = {
   id : int;
   home : int;
   mutable state : state;
-  mutable copies : Frame.t list;
+  mutable slots : Frame.t option array;  (* directory frame per module *)
+  mutable slot_seq : int array;  (* insertion stamp per module; -1 = empty *)
+  mutable next_seq : int;
+  mutable ncopies : int;
   mutable copy_mask : Procset.t;
   mutable write_mapped : bool;
   mutable last_protocol_inval : Platinum_sim.Time_ns.t;
@@ -61,7 +74,10 @@ let create ~id ~home ?(label = "") () =
     id;
     home;
     state = Empty;
-    copies = [];
+    slots = [||];
+    slot_seq = [||];
+    next_seq = 0;
+    ncopies = 0;
     copy_mask = Procset.empty;
     write_mapped = false;
     last_protocol_inval = never_invalidated;
@@ -73,31 +89,81 @@ let create ~id ~home ?(label = "") () =
     label;
   }
 
-let ncopies t = List.length t.copies
+let ncopies t = t.ncopies
 let has_copy_on t m = Procset.mem m t.copy_mask
 
 let local_copy t m =
-  if not (has_copy_on t m) then None
-  else List.find_opt (fun f -> Frame.mem_module f = m) t.copies
+  if m >= 0 && m < Array.length t.slots then Array.unsafe_get t.slots m else None
 
+(* The most recently added copy: what the head of the old cons list was.
+   A manual scan (no closure, no allocation) — this sits on the cachability
+   test of the read hit path. *)
 let any_copy t =
-  match t.copies with
-  | [] -> invalid_arg "Cpage.any_copy: empty page"
-  | f :: _ -> f
+  if t.ncopies = 0 then invalid_arg "Cpage.any_copy: empty page";
+  let best = ref (-1) in
+  let best_seq = ref (-1) in
+  for m = 0 to Array.length t.slot_seq - 1 do
+    if Array.unsafe_get t.slot_seq m > !best_seq then begin
+      best := m;
+      best_seq := Array.unsafe_get t.slot_seq m
+    end
+  done;
+  match t.slots.(!best) with Some f -> f | None -> assert false
+
+let mem_frame t frame =
+  let m = Frame.mem_module frame in
+  m >= 0 && m < Array.length t.slots
+  && (match Array.unsafe_get t.slots m with Some f -> f == frame | None -> false)
+
+let ensure_slots t m =
+  let n = Array.length t.slots in
+  if m >= n then begin
+    let n' = max (m + 1) (max 4 (2 * n)) in
+    let slots = Array.make n' None in
+    let seq = Array.make n' (-1) in
+    Array.blit t.slots 0 slots 0 n;
+    Array.blit t.slot_seq 0 seq 0 n;
+    t.slots <- slots;
+    t.slot_seq <- seq
+  end
 
 let add_copy t frame =
   let m = Frame.mem_module frame in
   if has_copy_on t m then
     invalid_arg (Printf.sprintf "Cpage.add_copy: module %d already backs cpage %d" m t.id);
-  t.copies <- frame :: t.copies;
-  t.copy_mask <- Procset.add m t.copy_mask
+  ensure_slots t m;
+  t.slots.(m) <- Some frame;
+  t.slot_seq.(m) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.copy_mask <- Procset.add m t.copy_mask;
+  t.ncopies <- t.ncopies + 1
 
 let remove_copy t frame =
   let m = Frame.mem_module frame in
-  if not (List.memq frame t.copies) then
+  if not (mem_frame t frame) then
     invalid_arg (Printf.sprintf "Cpage.remove_copy: frame not in directory of cpage %d" t.id);
-  t.copies <- List.filter (fun f -> f != frame) t.copies;
-  t.copy_mask <- Procset.remove m t.copy_mask
+  t.slots.(m) <- None;
+  t.slot_seq.(m) <- -1;
+  t.copy_mask <- Procset.remove m t.copy_mask;
+  t.ncopies <- t.ncopies - 1
+
+(* Newest-first, matching the old cons-list order (tests and the model
+   checker fingerprint observable state through this). *)
+let copies t =
+  let acc = ref [] in
+  for m = 0 to Array.length t.slots - 1 do
+    match t.slots.(m) with
+    | Some f -> acc := (t.slot_seq.(m), f) :: !acc
+    | None -> ()
+  done;
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare b a) !acc)
+
+let iter_copies f t =
+  for m = 0 to Array.length t.slots - 1 do
+    match Array.unsafe_get t.slots m with
+    | Some frame -> f frame
+    | None -> ()
+  done
 
 (* The invariant catalogue lives in {!Check}; this module only snapshots
    itself into a view and delegates, so the runtime monitor, the model
@@ -106,7 +172,7 @@ let to_view t =
   {
     Check.pv_id = t.id;
     pv_state = t.state;
-    pv_copies = t.copies;
+    pv_copies = copies t;
     pv_copy_mask = t.copy_mask;
     pv_write_mapped = t.write_mapped;
     pv_frozen = t.frozen;
@@ -120,7 +186,19 @@ let state_to_string = Check.state_to_string
 
 let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
 
-let check_faults t = Check.check_page (to_view t)
+(* The slot representation adds one invariant of its own: the copy counter
+   must agree with the occupied slots (mask/list agreement is already in
+   the catalogue, via the view). *)
+let check_faults t =
+  let view = to_view t in
+  let occupied = List.length view.Check.pv_copies in
+  if occupied <> t.ncopies then
+    Error
+      (Check.fault ~cpage:t.id ~inv:"directory-slot-agreement" ~cite:"PR 5"
+         "cpage %d: copy counter %d disagrees with %d occupied directory slots" t.id
+         t.ncopies occupied)
+  else Check.check_page view
+
 let check_invariants t = Result.map_error Check.render (check_faults t)
 
 let pp fmt t =

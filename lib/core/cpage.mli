@@ -1,8 +1,8 @@
 (** Coherent pages: the unit of the PLATINUM data-coherency protocol.
 
     Each coherent page is backed by a *set* of physical pages in distinct
-    memory modules, tracked by a directory (a module bit mask plus the list
-    of frames, §2.3).  A Cpage is in one of four states (§3.2):
+    memory modules, tracked by a directory (a module bit mask plus one
+    frame slot per module, §2.3).  A Cpage is in one of four states (§3.2):
 
     - [Empty]: no physical pages, no translations.
     - [Present1]: exactly one physical page; every virtual-to-physical
@@ -45,7 +45,15 @@ type t = {
   id : int;
   home : int;  (** memory module holding this entry's metadata *)
   mutable state : state;
-  mutable copies : Platinum_phys.Frame.t list;  (** the directory's page list *)
+  mutable slots : Platinum_phys.Frame.t option array;
+      (** the directory: at most one backing frame per memory module,
+          indexed by module number — O(1) add/remove/membership.  Use
+          {!add_copy} / {!remove_copy} / {!copies}; never write directly. *)
+  mutable slot_seq : int array;
+      (** insertion stamp per slot (-1 = empty): {!any_copy} must keep
+          choosing the most recently added copy, as the old cons list did *)
+  mutable next_seq : int;
+  mutable ncopies : int;  (** occupied slots, maintained by the editors *)
   mutable copy_mask : Platinum_machine.Procset.t;
       (** modules holding a backing page (the directory's bit mask) *)
   mutable write_mapped : bool;
@@ -72,20 +80,36 @@ val create : id:int -> home:int -> ?label:string -> unit -> t
 val fresh_stats : unit -> stats
 
 val ncopies : t -> int
+(** Occupied directory slots, O(1). *)
 
 val has_copy_on : t -> int -> bool
-(** [has_copy_on t m] — does module [m] back this page? *)
+(** [has_copy_on t m] — does module [m] back this page?  One bit test. *)
 
 val local_copy : t -> int -> Platinum_phys.Frame.t option
-(** Backing frame on the given module, if any (directory list scan; the
-    kernel uses the module's inverted page table for this, see
-    {!Platinum_phys.Inverted_table}). *)
+(** Backing frame on the given module, if any.  One slot load, returning
+    the stored cell — no allocation (the kernel uses the module's inverted
+    page table for this, see {!Platinum_phys.Inverted_table}). *)
 
 val any_copy : t -> Platinum_phys.Frame.t
-(** Some backing frame.  Raises [Invalid_argument] on an [Empty] page. *)
+(** The most recently added backing frame (the replication source choice
+    the protocol has always made).  Raises [Invalid_argument] on an
+    [Empty] page. *)
+
+val mem_frame : t -> Platinum_phys.Frame.t -> bool
+(** Is this very frame (physical identity) in the directory?  O(1). *)
 
 val add_copy : t -> Platinum_phys.Frame.t -> unit
 val remove_copy : t -> Platinum_phys.Frame.t -> unit
+
+val copies : t -> Platinum_phys.Frame.t list
+(** The directory as a list, most recently added first — the order the old
+    cons-list representation exposed.  Allocates; for checks, reports and
+    tests, not the access path. *)
+
+val iter_copies : (Platinum_phys.Frame.t -> unit) -> t -> unit
+(** Iterate the occupied slots in ascending module order, allocation-free.
+    The callback must not edit the directory; snapshot with {!copies} when
+    it does. *)
 
 val derived_state : t -> state
 (** The state implied by the directory and write flag. *)
@@ -97,7 +121,9 @@ val to_view : t -> Check.page_view
 (** Snapshot the protocol-relevant fields for the {!Check} catalogue. *)
 
 val check_faults : t -> (unit, Check.fault) result
-(** Run the {!Check.page_invariants} catalogue on this page. *)
+(** Run the {!Check.page_invariants} catalogue on this page, plus the slot
+    representation's own invariant: the copy counter must agree with the
+    occupied slots ([directory-slot-agreement]). *)
 
 val check_invariants : t -> (unit, string) result
 (** {!check_faults} rendered to a message.  Verifies state/directory

@@ -29,6 +29,8 @@ let alloc_map_cost (config : Config.t) (page : Cpage.t) ~proc =
 let free_copies ctx (page : Cpage.t) ~except =
   let config = Machine.config ctx.machine in
   let freed = ref 0 in
+  (* [Cpage.copies] snapshots the directory (newest first, as the old cons
+     list was ordered) — required, since the loop edits the slots. *)
   List.iter
     (fun f ->
       if f != except then begin
@@ -37,7 +39,7 @@ let free_copies ctx (page : Cpage.t) ~except =
         incr freed;
         ctx.counters.Counters.pages_freed <- ctx.counters.Counters.pages_freed + 1
       end)
-    page.Cpage.copies;
+    (Cpage.copies page);
   !freed * config.Config.page_free_ns
 
 (* Prefer the copy on the page's home module for remote mappings, so frozen

@@ -1,0 +1,89 @@
+(* Dense vpage-indexed tables: the flat storage behind Pmap, Atc and Cmap.
+
+   The PLATINUM argument (§3-4) is that the common case — a mapped,
+   coherent access — must cost almost nothing.  Hashing on every simulated
+   word made the simulator's common case pay bucket chases and [Some]
+   allocations; a dense array indexed by vpage makes a hit one bounds check
+   and one load, and returning the *stored* option cell keeps the hit path
+   free of minor-heap allocation.
+
+   Virtual pages are small integers for every workload the simulator runs
+   (zones allocate from low addresses), so keys below [dense_limit] live in
+   a geometrically-grown array; anything else — negative or genuinely
+   sparse — spills to a hash table that stores pre-wrapped options so even
+   spill hits allocate nothing. *)
+
+type 'a t = {
+  mutable cells : 'a option array;  (* dense prefix, index = key *)
+  spill : (int, 'a option) Hashtbl.t;  (* keys outside [0, dense_limit) *)
+  mutable population : int;
+}
+
+let dense_limit = 1 lsl 16
+
+let create () = { cells = [||]; spill = Hashtbl.create 8; population = 0 }
+
+let find t k =
+  if k >= 0 && k < Array.length t.cells then Array.unsafe_get t.cells k
+  else if k >= 0 && k < dense_limit then None
+  else (try Hashtbl.find t.spill k with Not_found -> None)
+
+let mem t k =
+  if k >= 0 && k < Array.length t.cells then Array.unsafe_get t.cells k <> None
+  else if k >= 0 && k < dense_limit then false
+  else Hashtbl.mem t.spill k
+
+let ensure t k =
+  let n = Array.length t.cells in
+  if k >= n then begin
+    let n' = min dense_limit (max 64 (max (k + 1) (2 * n))) in
+    let cells = Array.make n' None in
+    Array.blit t.cells 0 cells 0 n;
+    t.cells <- cells
+  end
+
+let set t k v =
+  if k >= 0 && k < dense_limit then begin
+    ensure t k;
+    (match Array.unsafe_get t.cells k with
+    | None -> t.population <- t.population + 1
+    | Some _ -> ());
+    Array.unsafe_set t.cells k (Some v)
+  end
+  else begin
+    if not (Hashtbl.mem t.spill k) then t.population <- t.population + 1;
+    Hashtbl.replace t.spill k (Some v)
+  end
+
+let remove t k =
+  if k >= 0 && k < dense_limit then begin
+    if k < Array.length t.cells then
+      match Array.unsafe_get t.cells k with
+      | None -> ()
+      | Some _ ->
+        Array.unsafe_set t.cells k None;
+        t.population <- t.population - 1
+  end
+  else if Hashtbl.mem t.spill k then begin
+    Hashtbl.remove t.spill k;
+    t.population <- t.population - 1
+  end
+
+let clear t =
+  if t.population > 0 then begin
+    Array.fill t.cells 0 (Array.length t.cells) None;
+    Hashtbl.reset t.spill;
+    t.population <- 0
+  end
+
+let length t = t.population
+
+let iter f t =
+  for k = 0 to Array.length t.cells - 1 do
+    match Array.unsafe_get t.cells k with
+    | Some v -> f k v
+    | None -> ()
+  done;
+  Hashtbl.iter (fun k v -> match v with Some v -> f k v | None -> ()) t.spill
+
+let dense_capacity t = Array.length t.cells

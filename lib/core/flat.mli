@@ -1,0 +1,37 @@
+(** Dense vpage-indexed tables (the flat storage behind {!Pmap}, {!Atc}
+    and {!Cmap}).
+
+    A table maps small non-negative integer keys — virtual page numbers —
+    to values through a geometrically-grown dense array, so the steady-state
+    lookup is one bounds check and one load.  [find] returns the {e stored}
+    option cell, never a fresh [Some], so a hit allocates zero minor-heap
+    words.  Keys outside [0, dense_limit) (negative, or a genuinely sparse
+    address space) spill to a hash table whose values are pre-wrapped
+    options, keeping even spill hits allocation-free. *)
+
+type 'a t
+
+val dense_limit : int
+(** Keys in [0, dense_limit) use the dense array; others spill. *)
+
+val create : unit -> 'a t
+
+val find : 'a t -> int -> 'a option
+(** The stored option cell — never freshly allocated on a hit. *)
+
+val mem : 'a t -> int -> bool
+val set : 'a t -> int -> 'a -> unit
+(** Add or replace. *)
+
+val remove : 'a t -> int -> unit
+val clear : 'a t -> unit
+
+val length : 'a t -> int
+(** Number of bound keys, O(1). *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Dense keys in ascending order, then spill keys in hash order. *)
+
+val dense_capacity : 'a t -> int
+(** Current length of the dense prefix (for mirror structures that must
+    grow in lockstep, e.g. {!Pmap}'s packed-entry array). *)

@@ -48,34 +48,53 @@ let validate = function
       invalid_arg "Memtxn.Stride_write: data length is not count * elem_words"
 
 type chunk = {
-  c_vaddr : int;
-  c_index : int;
-  c_words : int;
+  mutable c_vaddr : int;
+  mutable c_index : int;
+  mutable c_words : int;
 }
 
-(* Split the contiguous run [vaddr, vaddr + words) at page boundaries. *)
-let iter_run ~page_words ~vaddr ~index ~words f =
+type scratch = {
+  s_chunk : chunk;  (* the one chunk record iter_chunks refills *)
+  s_word : int array;  (* one-word data buffer for word transactions *)
+}
+
+let make_scratch () = { s_chunk = { c_vaddr = 0; c_index = 0; c_words = 0 }; s_word = [| 0 |] }
+
+(* Split the contiguous run [vaddr, vaddr + words) at page boundaries,
+   refilling the caller's one chunk record per run. *)
+let iter_run ~page_words ~vaddr ~index ~words ch f =
   let pos = ref 0 in
   while !pos < words do
     let va = vaddr + !pos in
     let off = va mod page_words in
     let len = min (page_words - off) (words - !pos) in
-    f { c_vaddr = va; c_index = index + !pos; c_words = len };
+    ch.c_vaddr <- va;
+    ch.c_index <- index + !pos;
+    ch.c_words <- len;
+    f ch;
     pos := !pos + len
   done
 
-let iter_chunks ~page_words txn f =
+let iter_chunks ?scratch ~page_words txn f =
+  let ch =
+    match scratch with
+    | Some s -> s.s_chunk
+    | None -> { c_vaddr = 0; c_index = 0; c_words = 0 }
+  in
   match txn with
   | Read { vaddr } | Write { vaddr; _ } | Rmw { vaddr; _ } ->
-    f { c_vaddr = vaddr; c_index = 0; c_words = 1 }
-  | Block_read { vaddr; len } -> iter_run ~page_words ~vaddr ~index:0 ~words:(max len 0) f
+    ch.c_vaddr <- vaddr;
+    ch.c_index <- 0;
+    ch.c_words <- 1;
+    f ch
+  | Block_read { vaddr; len } -> iter_run ~page_words ~vaddr ~index:0 ~words:(max len 0) ch f
   | Block_write { vaddr; data } ->
-    iter_run ~page_words ~vaddr ~index:0 ~words:(Array.length data) f
+    iter_run ~page_words ~vaddr ~index:0 ~words:(Array.length data) ch f
   | Stride_read { vaddr; count; elem_words; stride }
   | Stride_write { vaddr; count; elem_words; stride; _ } ->
     for k = 0 to count - 1 do
       iter_run ~page_words ~vaddr:(vaddr + (k * stride)) ~index:(k * elem_words)
-        ~words:elem_words f
+        ~words:elem_words ch f
     done
 
 let iter_pages ~page_words txn f =
@@ -87,17 +106,27 @@ let iter_pages ~page_words txn f =
         f vpage
       end)
 
-let run ~page_words ~now txn ~chunk_cost =
+let run ~page_words ~now ?scratch txn ~chunk_cost =
   validate txn;
   let data =
     match txn with
-    | Read _ | Rmw _ -> [| 0 |]
-    | Write { value; _ } -> [| value |]
+    | Read _ | Rmw _ -> (
+      match scratch with
+      | Some s ->
+        s.s_word.(0) <- 0;
+        s.s_word
+      | None -> [| 0 |])
+    | Write { value; _ } -> (
+      match scratch with
+      | Some s ->
+        s.s_word.(0) <- value;
+        s.s_word
+      | None -> [| value |])
     | Block_read _ | Stride_read _ -> Array.make (data_words txn) 0
     | Block_write { data; _ } | Stride_write { data; _ } -> data
   in
   let lat = ref 0 in
-  iter_chunks ~page_words txn (fun chunk ->
+  iter_chunks ?scratch ~page_words txn (fun chunk ->
       lat := !lat + chunk_cost ~now:(now + !lat) ~data chunk);
   let result =
     match txn with

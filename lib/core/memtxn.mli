@@ -55,14 +55,27 @@ val validate : t -> unit
 
 (** A maximal run of consecutive words that stays inside one page — the
     unit a backend translates and charges as a whole.  Generalizes the old
-    [Coherent.block_loop] chunking to strided transactions. *)
+    [Coherent.block_loop] chunking to strided transactions.
+
+    One chunk record is refilled per iteration (allocation-lean chunking);
+    callbacks must read the fields immediately and never retain the
+    record. *)
 type chunk = {
-  c_vaddr : int;  (** first word address of the run *)
-  c_index : int;  (** position of the run in the transaction's data array *)
-  c_words : int;  (** length of the run *)
+  mutable c_vaddr : int;  (** first word address of the run *)
+  mutable c_index : int;  (** position of the run in the transaction's data array *)
+  mutable c_words : int;  (** length of the run *)
 }
 
-val iter_chunks : page_words:int -> t -> (chunk -> unit) -> unit
+(** Reusable per-caller buffers: the chunk record the iteration refills and
+    a one-word data buffer for word transactions.  With a scratch supplied,
+    {!run} on a word transaction allocates only its result; without one it
+    also allocates the chunk and the buffer.  Not reentrant — one scratch
+    per concurrently running transaction stream. *)
+type scratch
+
+val make_scratch : unit -> scratch
+
+val iter_chunks : ?scratch:scratch -> page_words:int -> t -> (chunk -> unit) -> unit
 (** Chunks are visited in ascending address order (ascending element order
     for strided transactions); single-word transactions yield one chunk. *)
 
@@ -74,6 +87,7 @@ val iter_pages : page_words:int -> t -> (int -> unit) -> unit
 val run :
   page_words:int ->
   now:int ->
+  ?scratch:scratch ->
   t ->
   chunk_cost:(now:int -> data:int array -> chunk -> int) ->
   result * int

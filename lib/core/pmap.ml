@@ -1,29 +1,106 @@
+module Frame = Platinum_phys.Frame
+
 type entry = {
   frame : Platinum_phys.Frame.t;
   mutable write_ok : bool;
 }
 
+(* Entries are shared by physical identity with the ATC (a [restrict]
+   applied here is visible through the ATC too), so the record itself
+   cannot be flattened away.  What can be flattened is the *index*: a
+   dense vpage-indexed table of entry cells (see {!Flat}), plus a packed
+   mirror that folds presence, the write bit and the frame coordinates
+   into one immediate int per dense vpage:
+
+     bit 0      present
+     bit 1      write_ok
+     bits 2-7   memory module (Procset caps the machine at 62)
+     bits 8..   frame index within its module
+
+   The mirror answers presence and write-permission probes without
+   touching the boxed record, and the sanitizer verifies it never drifts
+   from the entry table ([check_faults]).  Spill entries (vpage outside
+   the dense range) are not mirrored; probes fall back to the table. *)
 type t = {
   pmap_proc : int;
-  entries : (int, entry) Hashtbl.t;
+  entries : entry Flat.t;
+  mutable packed : int array;  (* grown in lockstep with the dense prefix *)
 }
 
-let create ~proc = { pmap_proc = proc; entries = Hashtbl.create 64 }
+let pack e =
+  1
+  lor (if e.write_ok then 2 else 0)
+  lor (Frame.mem_module e.frame lsl 2)
+  lor (Frame.index e.frame lsl 8)
+
+let create ~proc = { pmap_proc = proc; entries = Flat.create (); packed = [||] }
 let proc t = t.pmap_proc
-let find t ~vpage = Hashtbl.find_opt t.entries vpage
+let find t ~vpage = Flat.find t.entries vpage
+
+let sync_packed t =
+  let n = Flat.dense_capacity t.entries in
+  if Array.length t.packed < n then begin
+    let p = Array.make n 0 in
+    Array.blit t.packed 0 p 0 (Array.length t.packed);
+    t.packed <- p
+  end
 
 let install t ~vpage ~frame ~write_ok =
   let e = { frame; write_ok } in
-  Hashtbl.replace t.entries vpage e;
+  Flat.set t.entries vpage e;
+  sync_packed t;
+  if vpage >= 0 && vpage < Array.length t.packed then t.packed.(vpage) <- pack e;
   e
 
-let remove t ~vpage = Hashtbl.remove t.entries vpage
+let remove t ~vpage =
+  Flat.remove t.entries vpage;
+  if vpage >= 0 && vpage < Array.length t.packed then t.packed.(vpage) <- 0
 
 let restrict t ~vpage =
-  match Hashtbl.find_opt t.entries vpage with
+  match Flat.find t.entries vpage with
   | None -> ()
-  | Some e -> e.write_ok <- false
+  | Some e ->
+    e.write_ok <- false;
+    if vpage >= 0 && vpage < Array.length t.packed then
+      t.packed.(vpage) <- t.packed.(vpage) land lnot 2
 
-let clear t = Hashtbl.reset t.entries
-let size t = Hashtbl.length t.entries
-let iter f t = Hashtbl.iter f t.entries
+let clear t =
+  Flat.clear t.entries;
+  Array.fill t.packed 0 (Array.length t.packed) 0
+
+let size t = Flat.length t.entries
+let iter f t = Flat.iter f t.entries
+
+let mem t ~vpage =
+  if vpage >= 0 && vpage < Array.length t.packed then
+    t.packed.(vpage) land 1 <> 0
+  else Flat.mem t.entries vpage
+
+let write_ok t ~vpage =
+  if vpage >= 0 && vpage < Array.length t.packed then
+    t.packed.(vpage) land 2 <> 0
+  else match Flat.find t.entries vpage with Some e -> e.write_ok | None -> false
+
+let check_faults t =
+  let fault = ref None in
+  let fail fmt =
+    Printf.ksprintf
+      (fun detail ->
+        if !fault = None then
+          fault := Some (Check.fault ~inv:"packed-mirror" ~cite:"PR 5" "%s" detail))
+      fmt
+  in
+  for vpage = 0 to Array.length t.packed - 1 do
+    let expected =
+      match Flat.find t.entries vpage with None -> 0 | Some e -> pack e
+    in
+    if t.packed.(vpage) <> expected then
+      fail "Pmap of proc %d: packed mirror %#x for vpage %d, entry table says %#x"
+        t.pmap_proc t.packed.(vpage) vpage expected
+  done;
+  (* The dense prefix and the mirror grow in lockstep; an entry the mirror
+     cannot see means that lockstep broke. *)
+  if Flat.dense_capacity t.entries > Array.length t.packed then
+    fail "Pmap of proc %d: dense prefix (%d cells) outgrew the packed mirror (%d)"
+      t.pmap_proc (Flat.dense_capacity t.entries) (Array.length t.packed);
+  !fault

@@ -53,7 +53,8 @@ let run ?monitor ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~
           t := !t + config.Platinum_machine.Config.shootdown_post_ns;
           counters.Counters.messages <- counters.Counters.messages + 1;
           let msg =
-            { Cmap.msg_vpage = vpage; msg_directive = directive; msg_targets = targets }
+            { Cmap.msg_vpage = vpage; msg_directive = directive; msg_targets = targets;
+              msg_done = false }
           in
           Cmap.post cmap msg;
           Procset.iter
@@ -127,14 +128,13 @@ let run ?monitor ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~
           (fun p ->
             match directive with
             | Cmap.Invalidate -> (
-              (match Pmap.find (Cmap.pmap cmap ~proc:p) ~vpage with
-              | Some _ ->
+              (* [Pmap.mem] answers from the packed mirror — one int load. *)
+              if Pmap.mem (Cmap.pmap cmap ~proc:p) ~vpage then
                 Check.raise_violation m ~now:finish
                   (Check.fault ~inv:"stale-translation" ~cite:"§3.1"
                      "proc %d retains a Pmap entry for aspace %d vpage %d after an \
                       invalidating shootdown"
-                     p aspace vpage)
-              | None -> ());
+                     p aspace vpage);
               match Atc.peek atcs.(p) ~aspace ~vpage with
               | Some _ ->
                 Check.raise_violation m ~now:finish
@@ -143,15 +143,13 @@ let run ?monitor ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~
                       shootdown"
                      p aspace vpage)
               | None -> ())
-            | Cmap.Restrict_to_read -> (
-              match Pmap.find (Cmap.pmap cmap ~proc:p) ~vpage with
-              | Some e when e.Pmap.write_ok ->
+            | Cmap.Restrict_to_read ->
+              if Pmap.write_ok (Cmap.pmap cmap ~proc:p) ~vpage then
                 Check.raise_violation m ~now:finish
                   (Check.fault ~inv:"stale-translation" ~cite:"§3.1"
                      "proc %d retains write permission on aspace %d vpage %d after a \
                       restricting shootdown"
-                     p aspace vpage)
-              | Some _ | None -> ()))
+                     p aspace vpage))
           targets)
       !processed);
   let n_int = Procset.cardinal to_interrupt in

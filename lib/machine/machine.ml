@@ -34,12 +34,18 @@ let mem_module t i = t.modules.(i)
 let module_of_proc _t p = p
 let caches_enabled t = Array.length t.caches > 0
 let cache t ~proc = if Array.length t.caches = 0 then None else Some t.caches.(proc)
+let cache_exn t ~proc = t.caches.(proc)
 
 let invalidate_cached_range t ~proc ~addr ~words =
   if Array.length t.caches > 0 then Cache.invalidate_range t.caches.(proc) ~addr ~words
 
+(* A plain loop: the closure [Array.iter] needs would capture [addr] and
+   [words] and be allocated on every write — this sits on the word-write
+   hot path. *)
 let invalidate_cached_range_all t ~addr ~words =
-  Array.iter (fun c -> Cache.invalidate_range c ~addr ~words) t.caches
+  for i = 0 to Array.length t.caches - 1 do
+    Cache.invalidate_range (Array.unsafe_get t.caches i) ~addr ~words
+  done
 
 let add_penalty t ~proc ns = t.penalties.(proc) <- t.penalties.(proc) + ns
 

@@ -19,6 +19,11 @@ val module_of_proc : t -> int -> int
 
 val caches_enabled : t -> bool
 val cache : t -> proc:int -> Cache.t option
+
+val cache_exn : t -> proc:int -> Cache.t
+(** Processor [proc]'s cache without the option wrap (no allocation);
+    only legal after {!caches_enabled} returned [true]. *)
+
 val invalidate_cached_range : t -> proc:int -> addr:int -> words:int -> unit
 val invalidate_cached_range_all : t -> addr:int -> words:int -> unit
 (** Software-maintained cache coherency: the coherent memory system calls

@@ -23,6 +23,9 @@ let set_owner t = function
 let get t off = t.data.(off)
 let set t off v = t.data.(off) <- v
 
+let read_words t ~off ~dst ~dst_off ~words = Array.blit t.data off dst dst_off words
+let write_words t ~off ~src ~src_off ~words = Array.blit src src_off t.data off words
+
 let blit_from ~src ~dst =
   if Array.length src.data <> Array.length dst.data then
     invalid_arg "Frame.blit_from: size mismatch";

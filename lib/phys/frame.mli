@@ -26,6 +26,13 @@ val get : t -> int -> int
 
 val set : t -> int -> int -> unit
 
+val read_words : t -> off:int -> dst:int array -> dst_off:int -> words:int -> unit
+(** Copy [words] data words starting at [off] into [dst] at [dst_off] — the
+    data plane of a block-transfer chunk, one [Array.blit] instead of a
+    per-word loop. *)
+
+val write_words : t -> off:int -> src:int array -> src_off:int -> words:int -> unit
+
 val blit_from : src:t -> dst:t -> unit
 (** Copy all data words of [src] into [dst] (the data plane of a block
     transfer).  Both frames must have the same size. *)

@@ -1,18 +1,36 @@
 type t = {
   table_module : int;
-  frames : Frame.t array;
+  page_words : int;
+  frames : Frame.t option array;  (* materialized on first allocation *)
   by_cpage : (int, int) Hashtbl.t;  (* cpage id -> frame index *)
   mutable free_list : int list;
   mutable nfree : int;
 }
 
+(* Frames are materialized lazily: simulated machines configure thousands
+   of frames per module but most workloads touch a handful of pages, and
+   eagerly building every page-sized data array dominated simulator
+   construction time.  A frame's backing array appears the first time the
+   frame is handed out; once materialized it is reused across free/alloc
+   cycles, preserving physical identity (a re-allocated frame is the same
+   [Frame.t], with whatever stale data it last held — exactly the eager
+   behaviour). *)
+let frame_at t i =
+  match t.frames.(i) with
+  | Some f -> f
+  | None ->
+    let f = Frame.create ~mem_module:t.table_module ~index:i ~words:t.page_words in
+    t.frames.(i) <- Some f;
+    f
+
 let create ~mem_module ~frames ~page_words =
   if frames <= 0 then invalid_arg "Inverted_table.create: frames must be positive";
-  let arr = Array.init frames (fun i -> Frame.create ~mem_module ~index:i ~words:page_words) in
+  if page_words <= 0 then invalid_arg "Inverted_table.create: page_words must be positive";
   let free_list = List.init frames (fun i -> i) in
   {
     table_module = mem_module;
-    frames = arr;
+    page_words;
+    frames = Array.make frames None;
     by_cpage = Hashtbl.create (frames * 2);
     free_list;
     nfree = frames;
@@ -33,7 +51,7 @@ let alloc t ~cpage =
   | i :: rest ->
     t.free_list <- rest;
     t.nfree <- t.nfree - 1;
-    let f = t.frames.(i) in
+    let f = frame_at t i in
     Frame.set_owner f (Some cpage);
     Hashtbl.replace t.by_cpage cpage i;
     Some f
@@ -41,7 +59,7 @@ let alloc t ~cpage =
 let lookup t ~cpage =
   match Hashtbl.find_opt t.by_cpage cpage with
   | None -> None
-  | Some i -> Some t.frames.(i)
+  | Some i -> Some (frame_at t i)
 
 let free t frame =
   if Frame.mem_module frame <> t.table_module then
@@ -55,7 +73,11 @@ let free t frame =
   t.free_list <- Frame.index frame :: t.free_list;
   t.nfree <- t.nfree + 1
 
-let frame t i = t.frames.(i)
+let frame t i = frame_at t i
 
 let iter_used f t =
-  Array.iter (fun fr -> if Frame.owner fr <> None then f fr) t.frames
+  Array.iter
+    (function
+      | Some fr when Frame.owner fr <> None -> f fr
+      | _ -> ())
+    t.frames

@@ -1,4 +1,7 @@
-(** Functional pairing heaps, used as the simulation event queue.
+(** Functional pairing heaps — the simulator's original event queue,
+    retired to a test-only oracle once {!Platinum_sim.Eheap} replaced it
+    under the engine.  The differential property in [test_sim] drives
+    identical operation sequences through both and checks agreement.
 
     Pairing heaps give O(1) insert and find-min and amortised O(log n)
     delete-min, which is the access pattern of a discrete-event queue. *)

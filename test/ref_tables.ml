@@ -1,0 +1,114 @@
+(* The seed's hash-based translation tables, kept as reference models.
+
+   Before the flat-table rework (PR 5), [Pmap] and [Atc] indexed their
+   entries with [(int, entry) Hashtbl.t].  These are those implementations,
+   preserved verbatim (modulo the module paths) so the differential
+   property in [Test_flat] can drive identical operation sequences through
+   the old and new representations and assert they remain observably
+   indistinguishable — including for spill keys outside the new dense
+   range. *)
+
+module Frame = Platinum_phys.Frame
+
+module Pmap = struct
+  type entry = {
+    frame : Frame.t;
+    mutable write_ok : bool;
+  }
+
+  type t = {
+    pmap_proc : int;
+    entries : (int, entry) Hashtbl.t;
+  }
+
+  let create ~proc = { pmap_proc = proc; entries = Hashtbl.create 64 }
+  let proc t = t.pmap_proc
+  let find t ~vpage = Hashtbl.find_opt t.entries vpage
+
+  let install t ~vpage ~frame ~write_ok =
+    let e = { frame; write_ok } in
+    Hashtbl.replace t.entries vpage e;
+    e
+
+  let remove t ~vpage = Hashtbl.remove t.entries vpage
+
+  let restrict t ~vpage =
+    match Hashtbl.find_opt t.entries vpage with
+    | None -> ()
+    | Some e -> e.write_ok <- false
+
+  let clear t = Hashtbl.reset t.entries
+  let size t = Hashtbl.length t.entries
+  let iter f t = Hashtbl.iter f t.entries
+end
+
+module Atc = struct
+  type t = {
+    atc_proc : int;
+    mutable aspace : int;  (* -1 = none *)
+    entries : (int, Pmap.entry) Hashtbl.t;
+    mutable last_vpage : int;  (* -1 = empty *)
+    mutable last_entry : Pmap.entry option;
+  }
+
+  let create ~proc =
+    {
+      atc_proc = proc;
+      aspace = -1;
+      entries = Hashtbl.create 64;
+      last_vpage = -1;
+      last_entry = None;
+    }
+
+  let proc t = t.atc_proc
+  let active_aspace t = if t.aspace < 0 then None else Some t.aspace
+
+  let clear_last t =
+    t.last_vpage <- -1;
+    t.last_entry <- None
+
+  let flush t =
+    Hashtbl.reset t.entries;
+    clear_last t
+
+  let activate t ~aspace =
+    if t.aspace = aspace then false
+    else begin
+      flush t;
+      t.aspace <- aspace;
+      true
+    end
+
+  let deactivate t =
+    flush t;
+    t.aspace <- -1
+
+  let find t ~aspace ~vpage =
+    if t.aspace <> aspace then None
+    else if vpage = t.last_vpage then t.last_entry
+    else begin
+      match Hashtbl.find_opt t.entries vpage with
+      | Some _ as hit ->
+        t.last_vpage <- vpage;
+        t.last_entry <- hit;
+        hit
+      | None -> None
+    end
+
+  let load t ~vpage entry =
+    if t.aspace < 0 then invalid_arg "Ref_tables.Atc.load: no active address space";
+    Hashtbl.replace t.entries vpage entry;
+    t.last_vpage <- vpage;
+    t.last_entry <- Some entry
+
+  let invalidate t ~aspace ~vpage =
+    if t.aspace = aspace then begin
+      Hashtbl.remove t.entries vpage;
+      if vpage = t.last_vpage then clear_last t
+    end
+
+  let size t = Hashtbl.length t.entries
+
+  let peek t ~aspace ~vpage =
+    if t.aspace <> aspace then None else Hashtbl.find_opt t.entries vpage
+end

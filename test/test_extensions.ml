@@ -132,7 +132,7 @@ let test_api_advise_home_places_data () =
   Coherent.iter_cpages
     (fun p ->
       if p.Cpage.label = "heap[0]" then
-        home := (match p.Cpage.copies with [ f ] -> Platinum_phys.Frame.mem_module f | _ -> -2))
+        home := (match Cpage.copies p with [ f ] -> Platinum_phys.Frame.mem_module f | _ -> -2))
     r.Runner.setup.Runner.coherent;
   Alcotest.(check int) "placed on node 7" 7 !home
 

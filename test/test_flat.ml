@@ -1,0 +1,406 @@
+(* Differential properties for the flat translation tables (PR 5).
+
+   The seed indexed Pmap and Atc entries with hash tables; the rework
+   replaced those with dense vpage-indexed arrays ([Flat]) plus a packed
+   int mirror in Pmap.  These properties drive identical random operation
+   sequences through the old hash-based tables ([Ref_tables], kept
+   verbatim) and the new flat ones, asserting observably identical state
+   after every step — including for spill keys outside the dense range —
+   and that the representation-level sanitizers ([Pmap.check_faults],
+   [Atc.check_faults], [Cmap.check_faults], [Cpage.check_faults]) stay
+   clean throughout. *)
+
+module Frame = Platinum_phys.Frame
+module Procset = Platinum_machine.Procset
+module Flat = Platinum_core.Flat
+module Pmap = Platinum_core.Pmap
+module Atc = Platinum_core.Atc
+module Cmap = Platinum_core.Cmap
+module Cpage = Platinum_core.Cpage
+module Rights = Platinum_core.Rights
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Key universe: dense keys (small, boundary, just-under-limit), spill
+   keys (over the limit and far out).  Every property sweeps this whole
+   universe after each operation, so dense/spill disagreements can't hide. *)
+let vpages =
+  [| 0; 1; 2; 3; 7; 63; 64; 1_000; Flat.dense_limit - 1; Flat.dense_limit + 3; 1_000_000 |]
+
+let nframes = 6
+
+let make_frames () =
+  Array.init nframes (fun i -> Frame.create ~mem_module:(i mod 3) ~index:i ~words:4)
+
+(* --- property 1: Pmap + ATC vs the seed's hash tables --- *)
+
+type op =
+  | Install of int * int * bool  (* vpage index, frame index, write_ok *)
+  | Remove of int
+  | Restrict of int
+  | Clear
+  | Atc_activate of int  (* aspace *)
+  | Atc_load of int  (* vpage index: cache the live pmap entry, if any *)
+  | Atc_invalidate of int * int  (* aspace, vpage index *)
+  | Atc_flush
+
+let op_gen =
+  let open QCheck.Gen in
+  let vp = int_bound (Array.length vpages - 1) in
+  frequency
+    [
+      (6, map3 (fun v f w -> Install (v, f, w)) vp (int_bound (nframes - 1)) bool);
+      (3, map (fun v -> Remove v) vp);
+      (3, map (fun v -> Restrict v) vp);
+      (1, return Clear);
+      (2, map (fun a -> Atc_activate a) (int_bound 2));
+      (4, map (fun v -> Atc_load v) vp);
+      (2, map2 (fun a v -> Atc_invalidate (a, v)) (int_bound 2) vp);
+      (1, return Atc_flush);
+    ]
+
+let pp_op = function
+  | Install (v, f, w) -> Printf.sprintf "install v%d f%d w%b" vpages.(v) f w
+  | Remove v -> Printf.sprintf "remove v%d" vpages.(v)
+  | Restrict v -> Printf.sprintf "restrict v%d" vpages.(v)
+  | Clear -> "clear"
+  | Atc_activate a -> Printf.sprintf "activate a%d" a
+  | Atc_load v -> Printf.sprintf "atc-load v%d" vpages.(v)
+  | Atc_invalidate (a, v) -> Printf.sprintf "atc-inval a%d v%d" a vpages.(v)
+  | Atc_flush -> "atc-flush"
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 120) op_gen)
+
+(* Observable equality of one translation: same presence, physically the
+   same frame, same write permission. *)
+let same_entry ~what vpage (a : Pmap.entry option) (b : Ref_tables.Pmap.entry option) =
+  match a, b with
+  | None, None -> ()
+  | Some e, Some r ->
+    if not (e.Pmap.frame == r.Ref_tables.Pmap.frame) then
+      QCheck.Test.fail_reportf "%s: vpage %d maps different frames" what vpage;
+    if e.Pmap.write_ok <> r.Ref_tables.Pmap.write_ok then
+      QCheck.Test.fail_reportf "%s: vpage %d write_ok disagrees" what vpage
+  | Some _, None -> QCheck.Test.fail_reportf "%s: vpage %d bound only in flat" what vpage
+  | None, Some _ -> QCheck.Test.fail_reportf "%s: vpage %d bound only in reference" what vpage
+
+let check_agreement (pm, atc) (rpm, ratc) =
+  (match Pmap.check_faults pm with
+  | None -> ()
+  | Some f -> QCheck.Test.fail_reportf "pmap sanitizer: %s" (Platinum_core.Check.render f));
+  (match Atc.check_faults atc with
+  | None -> ()
+  | Some f -> QCheck.Test.fail_reportf "atc sanitizer: %s" (Platinum_core.Check.render f));
+  if Pmap.size pm <> Ref_tables.Pmap.size rpm then
+    QCheck.Test.fail_reportf "pmap size %d vs reference %d" (Pmap.size pm)
+      (Ref_tables.Pmap.size rpm);
+  if Atc.size atc <> Ref_tables.Atc.size ratc then
+    QCheck.Test.fail_reportf "atc size %d vs reference %d" (Atc.size atc)
+      (Ref_tables.Atc.size ratc);
+  if Atc.active_aspace atc <> Ref_tables.Atc.active_aspace ratc then
+    QCheck.Test.fail_reportf "active aspace disagrees";
+  Array.iter
+    (fun vpage ->
+      let e = Pmap.find pm ~vpage and r = Ref_tables.Pmap.find rpm ~vpage in
+      same_entry ~what:"pmap" vpage e r;
+      (* The packed-mirror probes must answer exactly as the reference. *)
+      if Pmap.mem pm ~vpage <> (r <> None) then
+        QCheck.Test.fail_reportf "mem probe disagrees for vpage %d" vpage;
+      let rw = match r with Some e -> e.Ref_tables.Pmap.write_ok | None -> false in
+      if Pmap.write_ok pm ~vpage <> rw then
+        QCheck.Test.fail_reportf "write_ok probe disagrees for vpage %d" vpage;
+      for aspace = 0 to 2 do
+        same_entry ~what:"atc"
+          vpage
+          (Atc.peek atc ~aspace ~vpage)
+          (Ref_tables.Atc.peek ratc ~aspace ~vpage)
+      done)
+    vpages
+
+let apply_op frames (pm, atc) (rpm, ratc) op =
+  match op with
+  | Install (v, f, w) ->
+    let vpage = vpages.(v) and frame = frames.(f) in
+    ignore (Pmap.install pm ~vpage ~frame ~write_ok:w);
+    ignore (Ref_tables.Pmap.install rpm ~vpage ~frame ~write_ok:w)
+  | Remove v ->
+    Pmap.remove pm ~vpage:vpages.(v);
+    Ref_tables.Pmap.remove rpm ~vpage:vpages.(v)
+  | Restrict v ->
+    Pmap.restrict pm ~vpage:vpages.(v);
+    Ref_tables.Pmap.restrict rpm ~vpage:vpages.(v)
+  | Clear ->
+    Pmap.clear pm;
+    Ref_tables.Pmap.clear rpm;
+    (* The seed cleared ATCs alongside (shootdown does); keep the caches
+       from holding entries their Pmap no longer owns. *)
+    Atc.flush atc;
+    Ref_tables.Atc.flush ratc
+  | Atc_activate a ->
+    ignore (Atc.activate atc ~aspace:a);
+    ignore (Ref_tables.Atc.activate ratc ~aspace:a)
+  | Atc_load v -> (
+    let vpage = vpages.(v) in
+    if Atc.active_aspace atc <> None then
+      match Pmap.find pm ~vpage, Ref_tables.Pmap.find rpm ~vpage with
+      | Some e, Some r ->
+        Atc.load atc ~vpage e;
+        Ref_tables.Atc.load ratc ~vpage r
+      | None, None -> ()
+      | _ -> QCheck.Test.fail_reportf "pmaps diverged before atc-load of vpage %d" vpage)
+  | Atc_invalidate (a, v) ->
+    Atc.invalidate atc ~aspace:a ~vpage:vpages.(v);
+    Ref_tables.Atc.invalidate ratc ~aspace:a ~vpage:vpages.(v)
+  | Atc_flush ->
+    Atc.flush atc;
+    Ref_tables.Atc.flush ratc
+
+let prop_pmap_atc_differential =
+  QCheck.Test.make ~name:"flat Pmap/Atc == seed hash tables (differential)" ~count:300
+    ops_arb (fun ops ->
+      let frames = make_frames () in
+      let sys = (Pmap.create ~proc:0, Atc.create ~proc:0) in
+      let ref_sys = (Ref_tables.Pmap.create ~proc:0, Ref_tables.Atc.create ~proc:0) in
+      check_agreement sys ref_sys;
+      List.iter
+        (fun op ->
+          apply_op frames sys ref_sys op;
+          check_agreement sys ref_sys)
+        ops;
+      true)
+
+(* --- property 2: Cmap-level differential against a model --- *)
+
+(* Random bind/unbind/install/restrict/shootdown-mimic sequences through a
+   full Cmap (flat entry table, per-proc flat Pmaps, lazy-compaction
+   message queue), mirrored by a plain hash-table model.  After every
+   operation the observable state must match the model and every
+   representation sanitizer must be clean — [Cmap.check_faults] covers
+   refmask/Pmap agreement, translation-in-directory, stale translations,
+   the packed mirrors and the retired-message accounting. *)
+
+let nprocs = 4
+let cm_vpages = [| 0; 1; 5; 64; Flat.dense_limit + 3 |]
+
+type cop =
+  | Bind of int
+  | Unbind of int
+  | Read_install of int * int  (* proc, vpage index *)
+  | Write_install of int * int
+  | Restrict_page of int  (* shootdown-mimic Restrict_to_read *)
+  | Invalidate_page of int  (* shootdown-mimic Invalidate *)
+
+let cop_gen =
+  let open QCheck.Gen in
+  let vp = int_bound (Array.length cm_vpages - 1) in
+  let proc = int_bound (nprocs - 1) in
+  frequency
+    [
+      (4, map (fun v -> Bind v) vp);
+      (2, map (fun v -> Unbind v) vp);
+      (6, map2 (fun p v -> Read_install (p, v)) proc vp);
+      (4, map2 (fun p v -> Write_install (p, v)) proc vp);
+      (3, map (fun v -> Restrict_page v) vp);
+      (3, map (fun v -> Invalidate_page v) vp);
+    ]
+
+let pp_cop = function
+  | Bind v -> Printf.sprintf "bind v%d" cm_vpages.(v)
+  | Unbind v -> Printf.sprintf "unbind v%d" cm_vpages.(v)
+  | Read_install (p, v) -> Printf.sprintf "read p%d v%d" p cm_vpages.(v)
+  | Write_install (p, v) -> Printf.sprintf "write p%d v%d" p cm_vpages.(v)
+  | Restrict_page v -> Printf.sprintf "restrict v%d" cm_vpages.(v)
+  | Invalidate_page v -> Printf.sprintf "invalidate v%d" cm_vpages.(v)
+
+let cops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_cop ops))
+    QCheck.Gen.(list_size (int_range 1 150) cop_gen)
+
+type model = {
+  m_bound : (int, unit) Hashtbl.t;  (* vpage -> bound *)
+  m_trans : (int * int, bool) Hashtbl.t;  (* (proc, vpage) -> write_ok *)
+}
+
+let model_procs_of m vpage =
+  List.filter (fun p -> Hashtbl.mem m.m_trans (p, vpage)) (List.init nprocs Fun.id)
+
+let drain cm msg =
+  Procset.iter (fun p -> Cmap.complete cm msg ~proc:p) msg.Cmap.msg_targets
+
+let apply_cop (cm, pages, m) op =
+  match op with
+  | Bind v ->
+    let vpage = cm_vpages.(v) in
+    if not (Hashtbl.mem m.m_bound vpage) then begin
+      ignore (Cmap.bind cm ~vpage pages.(v) Rights.Read_write);
+      Hashtbl.replace m.m_bound vpage ()
+    end
+  | Unbind v ->
+    let vpage = cm_vpages.(v) in
+    if Hashtbl.mem m.m_bound vpage then begin
+      (match Cmap.find cm ~vpage with
+      | None -> QCheck.Test.fail_reportf "model bound but Cmap.find misses vpage %d" vpage
+      | Some ce ->
+        (* Tear down translations first, as Coherent.unbind does. *)
+        List.iter
+          (fun p ->
+            Pmap.remove (Cmap.pmap cm ~proc:p) ~vpage;
+            ce.Cmap.refmask <- Procset.remove p ce.Cmap.refmask;
+            Hashtbl.remove m.m_trans (p, vpage))
+          (model_procs_of m vpage);
+        pages.(v).Cpage.write_mapped <- false;
+        Cpage.sync_state pages.(v));
+      Cmap.unbind cm ~vpage;
+      Hashtbl.remove m.m_bound vpage
+    end
+  | Read_install (p, v) ->
+    let vpage = cm_vpages.(v) in
+    (match Cmap.find cm ~vpage with
+    | None -> ()
+    | Some ce ->
+      (* A write translation must not silently lose its permission: only
+         install read-only when the proc has no stronger mapping. *)
+      if Hashtbl.find_opt m.m_trans (p, vpage) <> Some true then begin
+        ignore
+          (Pmap.install (Cmap.pmap cm ~proc:p) ~vpage
+             ~frame:(Cpage.any_copy ce.Cmap.cpage) ~write_ok:false);
+        ce.Cmap.refmask <- Procset.add p ce.Cmap.refmask;
+        Hashtbl.replace m.m_trans (p, vpage) false
+      end)
+  | Write_install (p, v) ->
+    let vpage = cm_vpages.(v) in
+    (match Cmap.find cm ~vpage with
+    | None -> ()
+    | Some ce ->
+      ignore
+        (Pmap.install (Cmap.pmap cm ~proc:p) ~vpage
+           ~frame:(Cpage.any_copy ce.Cmap.cpage) ~write_ok:true);
+      ce.Cmap.refmask <- Procset.add p ce.Cmap.refmask;
+      ce.Cmap.cpage.Cpage.write_mapped <- true;
+      Cpage.sync_state ce.Cmap.cpage;
+      Hashtbl.replace m.m_trans (p, vpage) true)
+  | Restrict_page v ->
+    let vpage = cm_vpages.(v) in
+    (match Cmap.find cm ~vpage with
+    | None -> ()
+    | Some ce ->
+      let targets = model_procs_of m vpage in
+      if targets <> [] then begin
+        let msg =
+          {
+            Cmap.msg_vpage = vpage;
+            msg_directive = Cmap.Restrict_to_read;
+            msg_targets = Procset.of_list targets;
+            msg_done = false;
+          }
+        in
+        Cmap.post cm msg;
+        List.iter
+          (fun p ->
+            Pmap.restrict (Cmap.pmap cm ~proc:p) ~vpage;
+            Hashtbl.replace m.m_trans (p, vpage) false)
+          targets;
+        ce.Cmap.cpage.Cpage.write_mapped <- false;
+        Cpage.sync_state ce.Cmap.cpage;
+        drain cm msg
+      end)
+  | Invalidate_page v ->
+    let vpage = cm_vpages.(v) in
+    (match Cmap.find cm ~vpage with
+    | None -> ()
+    | Some ce ->
+      let targets = model_procs_of m vpage in
+      if targets <> [] then begin
+        let msg =
+          {
+            Cmap.msg_vpage = vpage;
+            msg_directive = Cmap.Invalidate;
+            msg_targets = Procset.of_list targets;
+            msg_done = false;
+          }
+        in
+        Cmap.post cm msg;
+        List.iter
+          (fun p ->
+            Pmap.remove (Cmap.pmap cm ~proc:p) ~vpage;
+            ce.Cmap.refmask <- Procset.remove p ce.Cmap.refmask;
+            Hashtbl.remove m.m_trans (p, vpage))
+          targets;
+        ce.Cmap.cpage.Cpage.write_mapped <- false;
+        Cpage.sync_state ce.Cmap.cpage;
+        drain cm msg
+      end)
+
+let check_cmap_agreement (cm, pages, m) =
+  (match Cmap.check_faults cm with
+  | None -> ()
+  | Some f -> QCheck.Test.fail_reportf "cmap sanitizer: %s" (Platinum_core.Check.render f));
+  Array.iter
+    (fun page ->
+      match Cpage.check_faults page with
+      | Ok () -> ()
+      | Error f ->
+        QCheck.Test.fail_reportf "cpage sanitizer: %s" (Platinum_core.Check.render f))
+    pages;
+  Array.iteri
+    (fun v vpage ->
+      let bound = Hashtbl.mem m.m_bound vpage in
+      (match Cmap.find cm ~vpage with
+      | Some ce ->
+        if not bound then QCheck.Test.fail_reportf "vpage %d bound only in Cmap" vpage;
+        if not (ce.Cmap.cpage == pages.(v)) then
+          QCheck.Test.fail_reportf "vpage %d bound to the wrong page" vpage
+      | None ->
+        if bound then QCheck.Test.fail_reportf "vpage %d bound only in model" vpage);
+      for p = 0 to nprocs - 1 do
+        let pm = Cmap.pmap cm ~proc:p in
+        match Pmap.find pm ~vpage, Hashtbl.find_opt m.m_trans (p, vpage) with
+        | None, None -> ()
+        | Some e, Some w ->
+          if e.Pmap.write_ok <> w then
+            QCheck.Test.fail_reportf "proc %d vpage %d write_ok %b, model %b" p vpage
+              e.Pmap.write_ok w
+        | Some _, None ->
+          QCheck.Test.fail_reportf "proc %d vpage %d mapped only in Cmap" p vpage
+        | None, Some _ ->
+          QCheck.Test.fail_reportf "proc %d vpage %d mapped only in model" p vpage
+      done)
+    cm_vpages;
+  (* Every mimic-shootdown drains its message before returning, so the
+     queue must be quiescent between operations. *)
+  if Cmap.pending_messages cm <> [] then
+    QCheck.Test.fail_reportf "message queue not quiescent: %d pending"
+      (List.length (Cmap.pending_messages cm))
+
+let prop_cmap_differential =
+  QCheck.Test.make ~name:"flat Cmap/queue vs hash-table model (differential)" ~count:200
+    cops_arb (fun ops ->
+      let cm = Cmap.create ~aspace:0 ~nprocs in
+      let pages =
+        Array.mapi
+          (fun i _ ->
+            let page = Cpage.create ~id:i ~home:0 () in
+            Cpage.add_copy page (Frame.create ~mem_module:0 ~index:i ~words:4);
+            Cpage.sync_state page;
+            page)
+          cm_vpages
+      in
+      let m = { m_bound = Hashtbl.create 8; m_trans = Hashtbl.create 8 } in
+      let sys = (cm, pages, m) in
+      check_cmap_agreement sys;
+      List.iter
+        (fun op ->
+          apply_cop sys op;
+          check_cmap_agreement sys)
+        ops;
+      true)
+
+let suite =
+  [
+    qtest prop_pmap_atc_differential;
+    qtest prop_cmap_differential;
+  ]

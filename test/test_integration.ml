@@ -102,7 +102,7 @@ let test_migration_moves_working_set () =
     (fun p ->
       if p.Platinum_core.Cpage.label = "heap[0]" then
         page_home :=
-          (match p.Platinum_core.Cpage.copies with
+          (match Platinum_core.Cpage.copies p with
           | [ f ] -> Platinum_phys.Frame.mem_module f
           | _ -> -2))
     r.Runner.setup.Runner.coherent;

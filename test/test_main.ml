@@ -5,6 +5,7 @@ let () =
       ("machine", Test_machine.suite);
       ("phys", Test_phys.suite);
       ("core", Test_core.suite);
+      ("flat", Test_flat.suite);
       ("check", Test_check.suite);
       ("vm", Test_vm.suite);
       ("kernel", Test_kernel.suite);

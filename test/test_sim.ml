@@ -1,6 +1,6 @@
 (* Tests for the discrete-event substrate: heaps, the engine, the PRNG. *)
 
-module Heap = Platinum_sim.Heap
+module Heap = Platinum_heap_oracle.Heap
 module Eheap = Platinum_sim.Eheap
 module Engine = Platinum_sim.Engine
 module Rng = Platinum_sim.Rng
