@@ -1,0 +1,170 @@
+(* scale: the sharded engine driving machines past the Butterfly.
+
+   Three message-level workloads (remote word traffic, shootdown storms,
+   RPC echo) run on hierarchical machines of hundreds to a thousand nodes,
+   with the event queue split into shards ([--shards]) advanced by the
+   domain pool ([-j]).  Two things are measured:
+
+   - determinism: every workload's fingerprint is byte-identical across a
+     (shards x domains) grid — the sharded engine's load-bearing contract,
+     asserted on every host (a 1-core machine still runs the domains);
+   - throughput: host events/sec and simulated-words/sec per topology at
+     the configured shard/domain counts, landing in BENCH_scale.json.
+
+   The JSON is labelled "parallelism": "shard" — intra-simulation
+   parallelism, one event queue split across domains — as opposed to
+   BENCH_sweep.json's "grid" (independent simulations side by side), so
+   the two speedup kinds stay comparable but never conflated.  The shard
+   speedup comparison itself is only asserted where the host has the
+   cores (parallel_meaningful), like the sweep. *)
+
+open Exp_common
+module Scale = Platinum_scale.Scale
+
+let seed = 42L
+
+(* --- determinism cells --- *)
+
+let det_grid = [ (1, 1); (2, 1); (4, 2); (8, 4) ]
+
+let determinism_ok ~config ~ops =
+  List.for_all
+    (fun w ->
+      let fp (shards, domains) =
+        (Scale.run ~shards ~domains ~inject_rate:0.02 ~seed ~ops_per_node:ops
+           ~config w)
+          .Scale.fingerprint
+      in
+      let fps = List.map fp det_grid in
+      let ok = List.for_all (( = ) (List.hd fps)) fps in
+      check_shape
+        (Printf.sprintf "%-7s fingerprint identical over shards x domains %s"
+           (Scale.workload_name w)
+           (String.concat " "
+              (List.map (fun (s, d) -> Printf.sprintf "(%d,%d)" s d) det_grid)))
+        ok;
+      ok)
+    Scale.all_workloads
+
+(* --- throughput rows --- *)
+
+type row = {
+  r : Scale.result;
+  clusters : int;
+  lookahead_ns : int;
+  wall_s : float;
+}
+
+let measure ~config ~ops ~shards ~domains w =
+  let t0 = Unix.gettimeofday () in
+  let r = Scale.run ~shards ~domains ~seed ~ops_per_node:ops ~config w in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    r;
+    clusters = Config.clusters config;
+    lookahead_ns = Scale.lookahead config w;
+    wall_s;
+  }
+
+let row_json { r; clusters; lookahead_ns; wall_s } =
+  Printf.sprintf
+    "    { \"workload\": %S, \"nodes\": %d, \"clusters\": %d, \"shards\": %d,\n\
+    \      \"domains\": %d, \"lookahead_ns\": %d, \"events\": %d, \"windows\": %d,\n\
+    \      \"sim_ns\": %d, \"wall_s\": %.6f, \"events_per_sec\": %.0f,\n\
+    \      \"words_per_sec\": %.0f, \"fingerprint\": %S }"
+    r.Scale.workload r.Scale.nodes clusters r.Scale.run_shards r.Scale.run_domains
+    lookahead_ns r.Scale.events r.Scale.windows r.Scale.clock wall_s
+    (float_of_int r.Scale.events /. wall_s)
+    (float_of_int r.Scale.words /. wall_s)
+    r.Scale.fingerprint
+
+let run (scale : scale) =
+  section "scale: sharded engine over hierarchical machines (emits BENCH_scale.json)";
+  let shards = Par.get_shards () in
+  let domains = Par.get_jobs () in
+  let node_counts = if scale.full then [ 64; 256; 1024 ] else [ 64; 256 ] in
+  let ops = if scale.full then 50 else 25 in
+  Printf.printf
+    "topologies: %s nodes (clusters of 16); --shards %d, -j %d domain(s)\n%!"
+    (String.concat ", " (List.map string_of_int node_counts))
+    shards domains;
+
+  subsection "determinism across shard and domain counts (2% injection)";
+  let det_config = Config.hierarchical ~cluster_size:16 ~nodes:64 () in
+  let identical = determinism_ok ~config:det_config ~ops in
+
+  subsection "throughput vs topology";
+  let rows =
+    List.concat_map
+      (fun nodes ->
+        let config = Config.hierarchical ~cluster_size:16 ~nodes () in
+        List.map (measure ~config ~ops ~shards ~domains) Scale.all_workloads)
+      node_counts
+  in
+  Printf.printf "%-8s %6s %9s %9s %12s %14s %14s\n" "workload" "nodes" "events"
+    "windows" "sim-time" "events/s" "sim-words/s";
+  List.iter
+    (fun { r; wall_s; _ } ->
+      Printf.printf "%-8s %6d %9d %9d %12s %14.0f %14.0f\n" r.Scale.workload
+        r.Scale.nodes r.Scale.events r.Scale.windows
+        (Time_ns.to_string r.Scale.clock)
+        (float_of_int r.Scale.events /. wall_s)
+        (float_of_int r.Scale.words /. wall_s))
+    rows;
+
+  (* Shard speedup: the same largest-topology run at 1 domain vs the pool.
+     Host parallelism inside ONE simulation — meaningless on a host without
+     the cores, so (like the sweep) the comparison is skipped there while
+     the determinism assertions above always run. *)
+  let parallel_meaningful = Par.default_jobs () > 1 in
+  let shard_speedup =
+    if not parallel_meaningful then begin
+      Printf.printf
+        "\n  (host has %d core(s): shard speedup not meaningful, skipped)\n"
+        (Par.default_jobs ());
+      None
+    end
+    else begin
+      let nodes = List.fold_left max 0 node_counts in
+      let config = Config.hierarchical ~cluster_size:16 ~nodes () in
+      let pool = max 2 domains in
+      let s1 = measure ~config ~ops ~shards:pool ~domains:1 Scale.Traffic in
+      let sp = measure ~config ~ops ~shards:pool ~domains:pool Scale.Traffic in
+      let speedup = s1.wall_s /. sp.wall_s in
+      Printf.printf "\n  traffic/%d nodes, %d shards: 1 domain %.3f s, %d domains %.3f s (%.2fx)\n"
+        nodes pool s1.wall_s pool sp.wall_s speedup;
+      check_shape "sharded run byte-identical at 1 domain vs pool"
+        (s1.r.Scale.fingerprint = sp.r.Scale.fingerprint);
+      if Par.default_jobs () >= 4 then
+        check_shape "shard pool at least breaks even on a >=4-core host"
+          (speedup >= 1.0);
+      Some speedup
+    end
+  in
+  check_shape "fingerprints identical across the shards x domains grid" identical;
+  check_shape
+    (Printf.sprintf "largest topology >= 256 nodes (%d)"
+       (List.fold_left max 0 node_counts))
+    (List.fold_left max 0 node_counts >= 256);
+
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"scale\",\n\
+    \  \"parallelism\": \"shard\",\n\
+    \  \"host\": %s,\n\
+    \  \"shards\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"ops_per_node\": %d,\n\
+    \  \"determinism\": { \"workloads\": %d, \"cells_per_workload\": %d, \"identical\": %b },\n\
+    \  \"parallel_meaningful\": %b,\n\
+    \  \"shard_speedup\": %s,\n\
+    \  \"rows\": [\n%s\n  ]\n\
+     }\n"
+    (host_json ()) shards domains ops
+    (List.length Scale.all_workloads)
+    (List.length det_grid) identical parallel_meaningful
+    (match shard_speedup with Some s -> Printf.sprintf "%.2f" s | None -> "null")
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "  wrote BENCH_scale.json\n%!"

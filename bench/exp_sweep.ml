@@ -151,6 +151,7 @@ let run (_ : scale) =
   Printf.fprintf oc
     "{\n\
     \  \"experiment\": \"sweep\",\n\
+    \  \"parallelism\": \"grid\",\n\
     \  \"host\": %s,\n\
     \  \"grid_cells\": %d,\n\
     \  \"sequential\": { \"jobs\": 1, \"wall_s\": %.6f },\n\

@@ -30,6 +30,10 @@ let experiments : (string * string * (Exp_common.scale -> unit)) list =
     ( "sweep",
       "domain-parallel sweep wall-clock and event-core events/sec (emits BENCH_sweep.json)",
       Exp_sweep.run );
+    ( "scale",
+      "sharded engine over hierarchical machines past the Butterfly (emits \
+       BENCH_scale.json)",
+      Exp_scale.run );
     ( "mc",
       "bounded model check: protocol invariants in every reachable state + mutation check",
       Exp_mc.run );
@@ -39,13 +43,14 @@ let experiments : (string * string * (Exp_common.scale -> unit)) list =
       Exp_soak.run );
   ]
 
-let run_selected names full procs jobs list_only =
+let run_selected names full procs jobs shards list_only =
   if list_only then begin
     List.iter (fun (id, doc, _) -> Printf.printf "%-10s %s\n" id doc) experiments;
     0
   end
   else begin
     Platinum_runner.Par.set_jobs jobs;
+    Platinum_runner.Par.set_shards shards;
     let scale = { Exp_common.full; procs } in
     let targets =
       match names with
@@ -80,11 +85,21 @@ let procs_arg =
 
 let jobs_arg =
   let doc =
-    "Host domains for sweep grids (default: Domain.recommended_domain_count; 1 \
-     reproduces today's sequential behavior exactly).  Grid results are collected \
-     in input order, so the output is byte-identical at any -j."
+    "Host domains, for sweep grids (independent simulations side by side) and for \
+     driving the shards of one sharded simulation (default: \
+     Domain.recommended_domain_count; 1 reproduces today's sequential behavior \
+     exactly).  Results are byte-identical at any -j."
   in
   Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let shards_arg =
+  let doc =
+    "Event-queue shards for intra-simulation parallelism (the scale experiment; \
+     default 1 = the sequential engine, bit for bit).  Orthogonal to -j: --shards \
+     splits one simulation, -j supplies the domains that drive it.  Results are \
+     byte-identical at any shard count."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
 
 let list_arg =
   let doc = "List experiment ids and exit." in
@@ -94,6 +109,8 @@ let cmd =
   let doc = "regenerate the tables and figures of the PLATINUM paper" in
   let info = Cmd.info "platinum-bench" ~doc in
   Cmd.v info
-    Term.(const run_selected $ names_arg $ full_arg $ procs_arg $ jobs_arg $ list_arg)
+    Term.(
+      const run_selected $ names_arg $ full_arg $ procs_arg $ jobs_arg $ shards_arg
+      $ list_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,11 +1,15 @@
 (* Domain-safety lint: flag toplevel mutable state in library code.
 
-   The sweep harness runs simulations on parallel domains, so a [ref], a
-   [Hashtbl.t] or any other mutable container created at module toplevel
-   is shared, unsynchronized, across domains — a data race waiting for a
-   schedule.  The rule: toplevel mutable state must be [Atomic], or carry
-   an explicit [lint: allow toplevel-state] comment documenting why it is
-   safe (e.g. a test-only knob never touched under parallelism).
+   Library code runs on parallel domains two ways: the sweep harness fans
+   independent simulations over a pool (grid parallelism), and the sharded
+   engine (Sim.Shard) splits ONE simulation's shards across domains — so a
+   [ref], a [Hashtbl.t] or any other mutable container created at module
+   toplevel is shared, unsynchronized, across domains — a data race
+   waiting for a schedule.  Per-instance state is fine in both regimes:
+   grid cells own their instances, and shard handlers own their node's.
+   The rule: toplevel mutable state must be [Atomic], or carry an explicit
+   [lint: allow toplevel-state] comment documenting why it is safe (e.g. a
+   test-only knob never touched under parallelism).
 
    This is a textual pass, not a typed one: it blanks comments and string
    literals, then inspects every column-0 [let] binding whose
@@ -43,6 +47,14 @@ let constructs =
     "Weak.create";
     "Dynarray.create";
     "lazy";
+    (* copies/conversions allocate fresh mutable containers too *)
+    "Array.copy";
+    "Array.of_list";
+    "Bytes.copy";
+    "Bytes.of_string";
+    "Hashtbl.copy";
+    "Hashtbl.of_seq";
+    "Queue.copy";
   ]
 
 (* --- blanking comments and strings (structure-preserving) --- *)

@@ -7,8 +7,12 @@ type outcome = {
   deferred : int;
 }
 
-(* lint: allow toplevel-state — test-only fault-injection knob, set and
-   cleared by single-domain tests/the model checker's mutation mode. *)
+(* Test-only fault-injection knob, set and cleared by single-domain
+   tests/the model checker's mutation mode.  Never read on the
+   sharded-engine path either: Shard handlers reach Shootdown only through
+   per-cell Machine instances the grid pool keeps domain-private, and no
+   test flips this while a pool is live.
+   lint: allow toplevel-state *)
 let test_skip_refmask_clear = ref false
 
 let run ?monitor ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~spare () =
@@ -83,7 +87,15 @@ let run ?monitor ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~
   let last_ack = ref !t in
   Procset.iter
     (fun p ->
-      t := !t + config.Platinum_machine.Config.ipi_send_ns;
+      (* An IPI crossing the fabric pays the extra hop; on a flat machine
+         the extra is zero and this is the paper's per-target cost. *)
+      let ipi_ns =
+        config.Platinum_machine.Config.ipi_send_ns
+        + (match Platinum_machine.Config.hop config ~src:initiator ~dst:p with
+          | Platinum_machine.Config.Cross -> config.Platinum_machine.Config.ipi_cross_extra
+          | Platinum_machine.Config.Local | Platinum_machine.Config.Intra -> 0)
+      in
+      t := !t + ipi_ns;
       Machine.count_ipi machine;
       let busy = Machine.proc_busy_until machine ~proc:p in
       let ack =
@@ -98,9 +110,7 @@ let run ?monitor ~machine ~counters ~atcs ~now ~initiator ~mappings ~directive ~
               Platinum_sim.Inject.note_shootdown_retry inj;
               Machine.count_ipi machine;
               attempt (k + 1)
-                (send_done
-                + Platinum_sim.Inject.ack_timeout inj ~attempt:k
-                + config.Platinum_machine.Config.ipi_send_ns)
+                (send_done + Platinum_sim.Inject.ack_timeout inj ~attempt:k + ipi_ns)
             | `Deliver -> max send_done busy + config.Platinum_machine.Config.sync_handler_ns
             | `Delay d ->
               max (send_done + d) busy + config.Platinum_machine.Config.sync_handler_ns

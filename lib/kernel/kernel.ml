@@ -120,21 +120,27 @@ let rec dispatch t proc =
     | None -> start_fiber t th)
 
 (* A processor that was idle gets a dispatch event; one that is mid-event
-   will reach its own dispatch when the current thread blocks/finishes. *)
-and wake t th =
+   will reach its own dispatch when the current thread blocks/finishes.
+   The wakeup is cross-node work when the waker runs elsewhere (a port
+   send, a join completion), so it goes through the engine's [post]
+   façade: sequentially that is a plain [schedule_after]; under a sharded
+   driver it is a mailbox crossing.  [src] defaults to the woken thread's
+   own processor (a local timer expiry). *)
+and wake ?src t th =
   th.state <- Runnable;
   Queue.add th.tid t.runqs.(th.proc);
   if not t.proc_active.(th.proc) then begin
     t.proc_active.(th.proc) <- true;
     let delay = (config t).Config.context_switch_ns in
-    Engine.schedule_after t.engine ~delay (fun () -> dispatch t th.proc)
+    let src = match src with Some s -> s | None -> th.proc in
+    Engine.post t.engine ~src ~dst:th.proc ~delay (fun () -> dispatch t th.proc)
   end
 
 and finish_thread t th =
   th.state <- Finished;
   t.live <- t.live - 1;
   if t.live = 0 then t.finished_at <- Engine.now t.engine;
-  List.iter (fun tid -> wake t (thread t tid)) th.joiners;
+  List.iter (fun tid -> wake ~src:th.proc t (thread t tid)) th.joiners;
   th.joiners <- [];
   dispatch t th.proc
 
@@ -215,7 +221,7 @@ and start_fiber t th =
                     let proc = place t hint in
                     let aspace = Option.value aspace_hint ~default:th.aspace in
                     let child = make_thread t ~proc ~aspace body in
-                    wake_fresh t child;
+                    wake_fresh ~src:th.proc t child;
                     (child.tid, (config t).Config.thread_spawn_ns)))
           | Eff.Join tid ->
             Some
@@ -249,7 +255,9 @@ and start_fiber t th =
                 th.resume <- Some (fun () -> continue k ());
                 let old = from_proc in
                 th.proc <- proc;
-                  Engine.schedule_after t.engine ~delay:lat (fun () ->
+                  (* The migration itself is cross-node traffic: the thread
+                     (kernel stack and all) lands on [proc]'s queue. *)
+                  Engine.post t.engine ~src:old ~dst:proc ~delay:lat (fun () ->
                       Queue.add th.tid t.runqs.(proc);
                       if not t.proc_active.(proc) then begin
                         t.proc_active.(proc) <- true;
@@ -281,7 +289,7 @@ and start_fiber t th =
                 in
                 Queue.add (Array.copy msg) port.messages;
                 (match Queue.take_opt port.waiters with
-                | Some tid -> wake t (thread t tid)
+                | Some tid -> wake ~src:th.proc t (thread t tid)
                 | None -> ());
                 complete t th k () lat)
           | Eff.Port_recv pid ->
@@ -354,12 +362,13 @@ and start_fiber t th =
           | _ -> None)
     }
 
-and wake_fresh t th =
+and wake_fresh ?src t th =
   Queue.add th.tid t.runqs.(th.proc);
   if not t.proc_active.(th.proc) then begin
     t.proc_active.(th.proc) <- true;
     let delay = (config t).Config.context_switch_ns in
-    Engine.schedule_after t.engine ~delay (fun () -> dispatch t th.proc)
+    let src = match src with Some s -> s | None -> th.proc in
+    Engine.post t.engine ~src ~dst:th.proc ~delay (fun () -> dispatch t th.proc)
   end
 
 (* ------------------------------------------------------------------ *)

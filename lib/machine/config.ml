@@ -1,5 +1,10 @@
 type t = {
   nprocs : int;
+  cluster_size : int;
+  t_cross_read_extra : int;
+  t_cross_write_extra : int;
+  t_cross_block_extra : int;
+  ipi_cross_extra : int;
   page_words : int;
   t_local_word : int;
   t_remote_read_word : int;
@@ -44,6 +49,14 @@ let butterfly_plus ?(nprocs = 16) ?(page_words = 1024) () =
     invalid_arg "Config.butterfly_plus: nprocs must be in [1, 62]";
   {
     nprocs;
+    (* The Butterfly Plus is one flat fabric: every node is one switch hop
+       from every other, so the whole machine is a single cluster and the
+       cross-fabric extras never apply. *)
+    cluster_size = nprocs;
+    t_cross_read_extra = 0;
+    t_cross_write_extra = 0;
+    t_cross_block_extra = 0;
+    ipi_cross_extra = 0;
     page_words;
     t_local_word = 320;
     t_remote_read_word = 5_000;
@@ -74,6 +87,60 @@ let butterfly_plus ?(nprocs = 16) ?(page_words = 1024) () =
     t2_defrost_period = 1_000_000_000;
   }
 
+(* A machine bigger than the paper's: [nodes] single-processor nodes
+   grouped into clusters of [cluster_size] on a two-level interconnect.
+   Within a cluster the Butterfly constants apply unchanged; crossing the
+   fabric between clusters adds a fixed per-word (and per-IPI) surcharge,
+   the shape modern multi-socket NUMA fabrics have (intra-socket vs
+   cross-fabric hops — Mitosis/numaPTE-scale machines, PAPERS.md).  The
+   constants keep T_l << T_r < T_r+cross, so every placement argument in
+   the paper still has teeth at 4096 nodes. *)
+let max_nodes = 4096
+
+let hierarchical ?(cluster_size = 16) ?(page_words = 1024) ~nodes () =
+  if nodes < 1 || nodes > max_nodes then
+    invalid_arg
+      (Printf.sprintf "Config.hierarchical: nodes must be in [1, %d]" max_nodes);
+  if cluster_size < 1 then invalid_arg "Config.hierarchical: cluster_size must be >= 1";
+  let base = butterfly_plus ~nprocs:1 ~page_words () in
+  {
+    base with
+    nprocs = nodes;
+    cluster_size;
+    (* One extra fabric hop ~ 60% of a remote read on the Butterfly's
+       switch; writes pipeline slightly better; block transfers amortize
+       the hop over the burst. *)
+    t_cross_read_extra = 3_000;
+    t_cross_write_extra = 2_400;
+    t_cross_block_extra = 400;
+    ipi_cross_extra = 5_000;
+  }
+
+type hop =
+  | Local
+  | Intra
+  | Cross
+
+let cluster_of t node =
+  if t.cluster_size >= t.nprocs then 0 else node / t.cluster_size
+
+let clusters t =
+  if t.cluster_size >= t.nprocs then 1
+  else (t.nprocs + t.cluster_size - 1) / t.cluster_size
+
+let hop t ~src ~dst =
+  if src = dst then Local else if cluster_of t src = cluster_of t dst then Intra else Cross
+
+(* The conservative-synchronization lookahead: no cross-node cause can
+   produce a cross-node effect sooner than the cheapest cross-node
+   latency, so a time window of this width is safe to advance without
+   hearing from other nodes.  The cross-fabric extras only ever add
+   latency, so the intra-cluster minimum is a sound global bound. *)
+let lookahead_ns t =
+  min
+    (min t.t_remote_read_word t.t_remote_write_word)
+    (min t.t_block_word t.ipi_send_ns)
+
 let page_bytes t = t.page_words * 4
 
 let with_policy_params ?t1_freeze_window ?t2_defrost_period t =
@@ -85,6 +152,9 @@ let with_local_caches ?(words = 2_048) ?(line_words = 4) ?(t_hit = 100) t =
   { t with local_cache_words = words; local_cache_line_words = line_words; t_cache_hit = t_hit }
 
 let pp fmt t =
+  if clusters t > 1 then
+    Format.fprintf fmt "@[<v>topology: %d clusters of %d (+%dns/%dns cross-fabric r/w)@,@]"
+      (clusters t) t.cluster_size t.t_cross_read_extra t.t_cross_write_extra;
   Format.fprintf fmt
     "@[<v>machine: %d processors, %d-word (%d-byte) pages@,\
      T_l=%dns T_r=%dns/%dns (r/w) T_b=%dns/word@,\

@@ -9,6 +9,13 @@
 
 type t = {
   nprocs : int;  (** processor nodes; one memory module per node *)
+  (* --- two-level interconnect topology --- *)
+  cluster_size : int;
+      (** nodes per cluster; [>= nprocs] (the Butterfly) = one flat fabric *)
+  t_cross_read_extra : int;  (** ns added per word read crossing clusters *)
+  t_cross_write_extra : int;  (** ns added per word write crossing clusters *)
+  t_cross_block_extra : int;  (** ns added per block-transfer word crossing clusters *)
+  ipi_cross_extra : int;  (** ns added per IPI crossing clusters *)
   page_words : int;  (** words per page (words are 32-bit); 1024 = 4 KB *)
   (* --- word-access timing --- *)
   t_local_word : int;  (** ns per local 32-bit reference (T_l) *)
@@ -50,6 +57,32 @@ type t = {
 val butterfly_plus : ?nprocs:int -> ?page_words:int -> unit -> t
 (** The paper's machine.  [nprocs] defaults to 16, [page_words] to 1024
     (4 KB pages). *)
+
+val max_nodes : int
+(** Largest machine {!hierarchical} accepts (4096 nodes). *)
+
+val hierarchical : ?cluster_size:int -> ?page_words:int -> nodes:int -> unit -> t
+(** A machine far past the Butterfly's 16 nodes: [nodes] single-processor
+    nodes in clusters of [cluster_size] (default 16) on a two-level
+    fabric.  Intra-cluster costs are the Butterfly constants unchanged;
+    crossing clusters adds the [t_cross_*]/[ipi_cross_extra] surcharges.
+    [nodes] may go to {!max_nodes}. *)
+
+type hop =
+  | Local  (** processor referencing its own module *)
+  | Intra  (** remote, same cluster: the paper's T_r *)
+  | Cross  (** remote, across the fabric: T_r plus the cross extras *)
+
+val cluster_of : t -> int -> int
+val clusters : t -> int
+
+val hop : t -> src:int -> dst:int -> hop
+(** Classify the interconnect path between two nodes. *)
+
+val lookahead_ns : t -> int
+(** The minimum cross-node latency of this machine — the natural
+    conservative-synchronization horizon for a sharded simulation: no
+    event at one node can affect another node sooner than this. *)
 
 val page_bytes : t -> int
 

@@ -3,16 +3,27 @@ type kind =
   | Write
   | Rmw
 
-let uncontended_word_ns (c : Config.t) kind ~local =
-  if local then
+(* Routing by topology: a Local reference never leaves the node, an Intra
+   hop is the paper's one-switch-traversal T_r, and a Cross hop pays the
+   extra fabric traversal on top.  On a flat machine (the Butterfly:
+   [cluster_size >= nprocs]) Cross never occurs, so every published
+   constant is reproduced bit-for-bit. *)
+let uncontended_word_ns (c : Config.t) kind ~(hop : Config.hop) =
+  match hop with
+  | Config.Local -> (
     match kind with
     | Read | Write -> c.t_local_word
-    | Rmw -> 2 * c.t_local_word
-  else
+    | Rmw -> 2 * c.t_local_word)
+  | Config.Intra -> (
     match kind with
     | Read -> c.t_remote_read_word
     | Write -> c.t_remote_write_word
-    | Rmw -> c.t_remote_read_word + c.t_module_service
+    | Rmw -> c.t_remote_read_word + c.t_module_service)
+  | Config.Cross -> (
+    match kind with
+    | Read -> c.t_remote_read_word + c.t_cross_read_extra
+    | Write -> c.t_remote_write_word + c.t_cross_write_extra
+    | Rmw -> c.t_remote_read_word + c.t_cross_read_extra + c.t_module_service)
 
 (* Fault injection lives at the module serialization point: a transient
    stall lengthens this one request's service; a hard outage pushes the
@@ -42,10 +53,12 @@ let access ?inject (c : Config.t) modules ~now ~proc ~mem_module kind ~words =
   if words < 0 then invalid_arg "Xbar.access";
   if words = 0 then 0
   else begin
-    let local = proc = mem_module in
+    let hop = Config.hop c ~src:proc ~dst:mem_module in
     let m = modules.(mem_module) in
-    let per_word_service = if local then c.t_local_word else c.t_module_service in
-    let base = words * uncontended_word_ns c kind ~local in
+    let per_word_service =
+      match hop with Config.Local -> c.t_local_word | _ -> c.t_module_service
+    in
+    let base = words * uncontended_word_ns c kind ~hop in
     let extra = module_fault inject m ~now in
     let start =
       Memmodule.acquire m ~arrival:now ~service:((words * per_word_service) + extra)
@@ -63,7 +76,13 @@ let block_copy ?inject (c : Config.t) modules ~now ~src ~dst ~words =
   if words < 0 then invalid_arg "Xbar.block_copy";
   if words = 0 then 0
   else begin
-    let duration = words * c.t_block_word in
+    let per_word =
+      c.t_block_word
+      + (match Config.hop c ~src ~dst with
+        | Config.Cross -> c.t_cross_block_extra
+        | Config.Local | Config.Intra -> 0)
+    in
+    let duration = words * per_word in
     let msrc = modules.(src) in
     let mdst = modules.(dst) in
     let extra = module_fault inject msrc ~now in

@@ -13,8 +13,11 @@ type kind =
   | Write
   | Rmw  (** an atomic read-modify-write network transaction *)
 
-val uncontended_word_ns : Config.t -> kind -> local:bool -> int
-(** Latency of a single word access with no queueing. *)
+val uncontended_word_ns : Config.t -> kind -> hop:Config.hop -> int
+(** Latency of a single word access with no queueing, routed by the
+    interconnect path it takes ({!Config.hop}): local, intra-cluster, or
+    cross-fabric.  On a flat machine only [Local]/[Intra] occur and the
+    values are the paper's constants unchanged. *)
 
 val access :
   ?inject:Platinum_sim.Inject.t ->

@@ -28,6 +28,24 @@ val get_jobs : unit -> int
 (** The effective pool width: the last [set_jobs] value, or
     [default_jobs ()] when unset/reset. *)
 
+(** {2 Intra-simulation sharding}
+
+    A second, independent parallelism axis: [jobs] fans {e independent}
+    simulations over a grid, while [shards] splits {e one} simulation's
+    event queue across domains ({!Platinum_sim.Shard}).  Speedup from the
+    two must never be conflated — the bench harness labels them ["grid"]
+    (BENCH_sweep.json) and ["shard"] (BENCH_scale.json) respectively.
+    The setting is plumbing for the harness's [--shards] flag; simulation
+    results are identical at any shard count. *)
+
+val set_shards : int -> unit
+(** Set the shard count used by shard-aware experiments.  [set_shards 0]
+    restores the default (1 — the sequential engine, bit for bit);
+    negative values raise [Invalid_argument]. *)
+
+val get_shards : unit -> int
+(** The effective shard count: the last [set_shards] value, or 1. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f cells] applies [f] to every cell on [min jobs (length cells)]
     domains (the calling domain included) and returns results in input

@@ -65,7 +65,15 @@ val speedup :
     16) and return [(p, T1/Tp, result)] per point.  The points are
     independent simulations and run on the {!Par} domain pool ([?jobs]
     defaults to [Par.get_jobs ()]; [~jobs:1] is strictly sequential);
-    results always come back in [nprocs_list] order. *)
+    results always come back in [nprocs_list] order.
+
+    The T1/Tp here is {e simulated} speedup of the modelled application;
+    the [?jobs] pool is {e grid-level host} parallelism (independent
+    cells side by side) and never changes any returned number.  Neither is
+    intra-simulation sharding — one simulation's event queue split across
+    domains ({!Platinum_sim.Shard}, [Par.set_shards]) — whose host
+    wall-clock lives in BENCH_scale.json under ["parallelism": "shard"],
+    distinct from the grid pool's BENCH_sweep.json ["grid"] numbers. *)
 
 (* --- the UMA comparison machine (Figure 5) --- *)
 

@@ -1,0 +1,395 @@
+(* Big-machine workloads for the sharded engine: every node is a logical
+   process owning its own memory module, RNG and fault plane, and all
+   cross-node traffic — remote word accesses (Xbar), shootdown IPIs, RPC
+   request/response, block payloads — travels as messages through the
+   shard mailboxes.  This is the message-level decomposition the sequential
+   kernel model charges arithmetically: here the home node really does
+   serve the request in its own event, against its own module's queue, at
+   whatever time the fabric delivers it.
+
+   Determinism: each node's RNG and fault plane are seeded from the master
+   seed in node order at setup and consumed only inside that node's own
+   events, so the whole run is a pure function of (workload, config, seed,
+   rate) — independent of shard count and domain count.  That is pinned by
+   test_parshard.ml across shards x domains grids. *)
+
+module Config = Platinum_machine.Config
+module Memmodule = Platinum_machine.Memmodule
+module Xbar = Platinum_machine.Xbar
+module Shard = Platinum_sim.Shard
+module Inject = Platinum_sim.Inject
+module Rng = Platinum_sim.Rng
+
+type workload =
+  | Traffic  (** remote/local word traffic served at the home module *)
+  | Storm  (** shootdown IPI storms with lost/delayed-IPI recovery *)
+  | Echo  (** RPC echo against per-cluster servers, with retransmission *)
+
+let workload_name = function Traffic -> "traffic" | Storm -> "storm" | Echo -> "echo"
+
+let all_workloads = [ Traffic; Storm; Echo ]
+
+type node = {
+  id : int;
+  rng : Rng.t;
+  inject : Inject.t option;
+  mmodule : Memmodule.t;
+  mutable ops_left : int;
+  (* -- counters, mutated only by this node's own handlers -- *)
+  mutable accesses : int;
+  mutable words : int;
+  mutable latency_ns : int;
+  mutable remote : int;
+  mutable cross : int;
+  mutable ipis : int;
+  mutable acks : int;
+  mutable retries : int;
+  mutable rpcs : int;
+  mutable served : int;
+}
+
+(* Each workload's own conservative horizon.  Config.lookahead_ns is the
+   fully general bound (it also covers T_b block-word streams), but every
+   message a given workload sends rides a known primitive — a remote word
+   trip, an IPI, or a port operation — so its window can be as fat as that
+   primitive's minimum cross-node delay.  Wider windows = fewer barriers. *)
+let lookahead (c : Config.t) = function
+  | Traffic -> min c.Config.t_remote_read_word c.Config.t_remote_write_word
+  | Storm -> c.Config.ipi_send_ns
+  | Echo -> c.Config.port_op_ns
+
+type result = {
+  workload : string;
+  nodes : int;
+  run_shards : int;
+  run_domains : int;
+  events : int;
+  windows : int;
+  clock : int;
+  accesses : int;
+  words : int;
+  remote : int;
+  cross : int;
+  ipis : int;
+  retries : int;
+  rpcs : int;
+  faults : int;
+  avg_latency_ns : float;
+  fingerprint : string;
+}
+
+(* --- deterministic node setup --- *)
+
+let make_nodes (c : Config.t) ~seed ~inject_rate ~ops_per_node =
+  let master = Rng.create seed in
+  Array.init c.Config.nprocs (fun id ->
+      let rng = Rng.split master in
+      let inject =
+        if inject_rate > 0.0 then
+          Some
+            (Inject.create
+               (Inject.config ~seed:(Rng.next_int64 master) ~rate:inject_rate ()))
+        else begin
+          (* keep the master stream identical whether or not a plane is
+             attached at this rate *)
+          ignore (Rng.next_int64 master);
+          None
+        end
+      in
+      {
+        id;
+        rng;
+        inject;
+        mmodule = Memmodule.create id;
+        ops_left = ops_per_node;
+        accesses = 0;
+        words = 0;
+        latency_ns = 0;
+        remote = 0;
+        cross = 0;
+        ipis = 0;
+        acks = 0;
+        retries = 0;
+        rpcs = 0;
+        served = 0;
+      })
+
+(* Pick a remote destination: mostly intra-cluster, sometimes across the
+   fabric — the access mix that makes the two-level topology visible. *)
+let pick_remote (c : Config.t) (n : node) =
+  let nnodes = c.Config.nprocs in
+  if nnodes = 1 then n.id
+  else begin
+    let cluster = Config.cluster_of c n.id in
+    let nclusters = Config.clusters c in
+    let cross = nclusters > 1 && Rng.int n.rng 100 < 25 in
+    if cross then begin
+      let other = (cluster + 1 + Rng.int n.rng (nclusters - 1)) mod nclusters in
+      let base = other * c.Config.cluster_size in
+      let span = min c.Config.cluster_size (nnodes - base) in
+      base + Rng.int n.rng span
+    end
+    else begin
+      let base = cluster * c.Config.cluster_size in
+      let span = min c.Config.cluster_size (nnodes - base) in
+      if span <= 1 then (n.id + 1) mod nnodes
+      else begin
+        let d = base + Rng.int n.rng span in
+        if d = n.id then base + ((d - base + 1) mod span) else d
+      end
+    end
+  end
+
+let think (n : node) = 1_000 + Rng.int n.rng 49_000
+
+(* --- Traffic: remote word accesses served at the home module --- *)
+
+let start_traffic (c : Config.t) sh nodes_arr modules =
+  let rec tick (n : node) (_now : int) =
+    if n.ops_left > 0 then begin
+      n.ops_left <- n.ops_left - 1;
+      let words = 1 + Rng.int n.rng 8 in
+      let remote = c.Config.nprocs > 1 && Rng.int n.rng 100 < 30 in
+      if not remote then begin
+        (* Local: the node's own module, served inline in its own event. *)
+        let now = Shard.now sh ~node:n.id in
+        let lat = Xbar.access c modules ~now ~proc:n.id ~mem_module:n.id Xbar.Read ~words in
+        n.accesses <- n.accesses + 1;
+        n.words <- n.words + words;
+        n.latency_ns <- n.latency_ns + lat;
+        Shard.schedule sh ~node:n.id ~delay:(think n + lat) (tick n)
+      end
+      else begin
+        let dst = pick_remote c n in
+        let hop = Config.hop c ~src:n.id ~dst in
+        n.remote <- n.remote + 1;
+        if hop = Config.Cross then n.cross <- n.cross + 1;
+        let issue = Shard.now sh ~node:n.id in
+        let wire = Xbar.uncontended_word_ns c Xbar.Read ~hop in
+        (* Request travels one word trip; the home node serves the burst
+           against its own module queue and mails the payload back. *)
+        Shard.post sh ~src:n.id ~dst ~delay:wire (fun arrival ->
+            let home = nodes_arr.(dst) in
+            home.served <- home.served + 1;
+            let lat =
+              Xbar.access ?inject:home.inject c modules ~now:arrival ~proc:n.id
+                ~mem_module:dst Xbar.Read ~words
+            in
+            Shard.post sh ~src:dst ~dst:n.id ~delay:(max lat wire) (fun done_at ->
+                n.accesses <- n.accesses + 1;
+                n.words <- n.words + words;
+                n.latency_ns <- n.latency_ns + (done_at - issue);
+                Shard.schedule sh ~node:n.id ~delay:(think n) (tick n)))
+      end
+    end
+  in
+  Array.iter
+    (fun n -> Shard.schedule sh ~node:n.id ~delay:(Rng.int n.rng 50_000) (tick n))
+    nodes_arr
+
+(* --- Storm: shootdown IPI rounds with lost/delayed-IPI recovery --- *)
+
+let start_storm (c : Config.t) sh nodes_arr =
+  let nnodes = c.Config.nprocs in
+  let ipi_ns ~src ~dst =
+    c.Config.ipi_send_ns
+    + (match Config.hop c ~src ~dst with
+      | Config.Cross -> c.Config.ipi_cross_extra
+      | Config.Local | Config.Intra -> 0)
+  in
+  let rec round (n : node) (_now : int) =
+    if n.ops_left > 0 then begin
+      n.ops_left <- n.ops_left - 1;
+      if nnodes = 1 then Shard.schedule sh ~node:n.id ~delay:(think n) (round n)
+      else begin
+        let targets = 1 + Rng.int n.rng (min 4 (nnodes - 1)) in
+        let pending = ref targets in
+        let ack_from dst (_ : int) =
+          n.acks <- n.acks + 1;
+          decr pending;
+          ignore dst;
+          if !pending = 0 then Shard.schedule sh ~node:n.id ~delay:(think n) (round n)
+        in
+        let deliver dst ~delay =
+          n.ipis <- n.ipis + 1;
+          Shard.post sh ~src:n.id ~dst ~delay (fun (_ : int) ->
+              let t = nodes_arr.(dst) in
+              t.served <- t.served + 1;
+              (* target-side synchronization handler, then the ack rides
+                 an IPI back *)
+              Shard.post sh ~src:dst ~dst:n.id
+                ~delay:(c.Config.sync_handler_ns + ipi_ns ~src:dst ~dst:n.id)
+                (ack_from dst))
+        in
+        (* Each IPI may be dropped or delayed by this node's fault plane;
+           a drop arms the ack-timeout retransmission timer, and the
+           plane's bounded adversary guarantees the final attempt
+           delivers — the same recovery contract as Shootdown.run. *)
+        let rec send dst ~attempt =
+          let base = ipi_ns ~src:n.id ~dst in
+          match n.inject with
+          | None -> deliver dst ~delay:base
+          | Some inj -> (
+            match Inject.ipi_fault inj ~attempt with
+            | `Deliver -> deliver dst ~delay:base
+            | `Delay d -> deliver dst ~delay:(base + d)
+            | `Drop ->
+              n.retries <- n.retries + 1;
+              Inject.note_shootdown_retry inj;
+              Shard.schedule sh ~node:n.id ~delay:(Inject.ack_timeout inj ~attempt)
+                (fun (_ : int) -> send dst ~attempt:(attempt + 1)))
+        in
+        for _ = 1 to targets do
+          let dst = pick_remote c n in
+          send dst ~attempt:0
+        done
+      end
+    end
+  in
+  Array.iter
+    (fun n -> Shard.schedule sh ~node:n.id ~delay:(Rng.int n.rng 50_000) (round n))
+    nodes_arr
+
+(* --- Echo: RPC against per-cluster servers with retransmission --- *)
+
+let start_echo (c : Config.t) sh nodes_arr modules =
+  let nnodes = c.Config.nprocs in
+  let server_of (n : node) =
+    let nclusters = Config.clusters c in
+    let cluster =
+      if nclusters > 1 && Rng.int n.rng 100 < 20 then
+        (Config.cluster_of c n.id + 1 + Rng.int n.rng (nclusters - 1)) mod nclusters
+      else Config.cluster_of c n.id
+    in
+    min (cluster * c.Config.cluster_size) (nnodes - 1)
+  in
+  let rec tick (n : node) (_now : int) =
+    if n.ops_left > 0 then begin
+      n.ops_left <- n.ops_left - 1;
+      let dst = server_of n in
+      let words = 4 + Rng.int n.rng 28 in
+      let issue = Shard.now sh ~node:n.id in
+      let wire =
+        c.Config.port_op_ns + (words * c.Config.t_block_word)
+        + (match Config.hop c ~src:n.id ~dst with
+          | Config.Cross -> words * c.Config.t_cross_block_extra
+          | Config.Local | Config.Intra -> 0)
+      in
+      let finish (done_at : int) =
+        n.rpcs <- n.rpcs + 1;
+        n.words <- n.words + (2 * words);
+        n.latency_ns <- n.latency_ns + (done_at - issue);
+        Shard.schedule sh ~node:n.id ~delay:(think n) (tick n)
+      in
+      let serve (arrival : int) =
+        let server = nodes_arr.(dst) in
+        server.served <- server.served + 1;
+        if dst = n.id then finish (arrival + c.Config.port_op_ns)
+        else begin
+          (* The server's module is the serialization point: bursts queue
+             behind each other exactly like word runs at a memory module. *)
+          let q =
+            Xbar.access ?inject:server.inject c modules ~now:arrival ~proc:n.id
+              ~mem_module:dst Xbar.Read ~words:1
+          in
+          Shard.post sh ~src:dst ~dst:n.id ~delay:(max wire (q + c.Config.port_op_ns))
+            finish
+        end
+      in
+      (* A lossy switch may eat the request: back off and retransmit,
+         bounded by the plane (the final attempt always goes through). *)
+      let rec send ~attempt =
+        match n.inject with
+        | None -> Shard.post sh ~src:n.id ~dst ~delay:wire serve
+        | Some inj ->
+          if Inject.rpc_drop inj ~attempt then begin
+            n.retries <- n.retries + 1;
+            Inject.note_rpc_retry inj;
+            Shard.schedule sh ~node:n.id ~delay:(Inject.rpc_retrans inj ~attempt)
+              (fun (_ : int) -> send ~attempt:(attempt + 1))
+          end
+          else Shard.post sh ~src:n.id ~dst ~delay:wire serve
+      in
+      send ~attempt:0
+    end
+  in
+  Array.iter
+    (fun n -> Shard.schedule sh ~node:n.id ~delay:(Rng.int n.rng 50_000) (tick n))
+    nodes_arr
+
+(* --- fingerprinting and the driver --- *)
+
+let fnv_prime = 0x100000001b3L
+
+let run ?check ?(shards = 1) ?(domains = 1) ?(inject_rate = 0.0) ?(seed = 42L)
+    ?(ops_per_node = 50) ~config workload =
+  let c : Config.t = config in
+  let sh =
+    Shard.create ?check ~nodes:c.Config.nprocs ~shards
+      ~lookahead:(lookahead c workload) ()
+  in
+  let nodes_arr = make_nodes c ~seed ~inject_rate ~ops_per_node in
+  let modules = Array.map (fun n -> n.mmodule) nodes_arr in
+  (match workload with
+  | Traffic -> start_traffic c sh nodes_arr modules
+  | Storm -> start_storm c sh nodes_arr
+  | Echo -> start_echo c sh nodes_arr modules);
+  Shard.run ~domains sh;
+  let h = ref 0xcbf29ce484222325L in
+  let mixin v = h := Int64.mul (Int64.logxor !h (Int64.of_int v)) fnv_prime in
+  let acc = ref (0, 0, 0, 0, 0, 0, 0, 0) in
+  Array.iter
+    (fun n ->
+      mixin n.id;
+      mixin n.accesses;
+      mixin n.words;
+      mixin n.latency_ns;
+      mixin n.remote;
+      mixin n.cross;
+      mixin n.ipis;
+      mixin n.acks;
+      mixin n.retries;
+      mixin n.rpcs;
+      mixin n.served;
+      mixin (Memmodule.requests n.mmodule);
+      mixin (Memmodule.total_busy_ns n.mmodule);
+      mixin (Memmodule.total_wait_ns n.mmodule);
+      (match n.inject with
+      | None -> ()
+      | Some inj -> String.iter (fun ch -> mixin (Char.code ch)) (Inject.fingerprint inj));
+      let a, w, r, x, i, t, p, f = !acc in
+      acc :=
+        ( a + n.accesses,
+          w + n.words,
+          r + n.remote,
+          x + n.cross,
+          i + n.ipis,
+          t + n.retries,
+          p + n.rpcs,
+          f + (match n.inject with None -> 0 | Some inj -> Inject.faults_injected inj) ))
+    nodes_arr;
+  mixin (Shard.events_processed sh);
+  mixin (Shard.clock sh);
+  let accesses, words, remote, cross, ipis, retries, rpcs, faults = !acc in
+  let denom = max 1 (accesses + rpcs) in
+  {
+    workload = workload_name workload;
+    nodes = c.Config.nprocs;
+    run_shards = Shard.shards sh;
+    run_domains = domains;
+    events = Shard.events_processed sh;
+    windows = Shard.windows sh;
+    clock = Shard.clock sh;
+    accesses;
+    words;
+    remote;
+    cross;
+    ipis;
+    retries;
+    rpcs;
+    faults;
+    avg_latency_ns =
+      float_of_int (Array.fold_left (fun s n -> s + n.latency_ns) 0 nodes_arr)
+      /. float_of_int denom;
+    fingerprint = Printf.sprintf "%016Lx" !h;
+  }

@@ -19,12 +19,24 @@
 
 let nothing () = ()
 
+type router = {
+  route :
+    src:int ->
+    dst:int ->
+    daemon:bool ->
+    deferred:bool ->
+    delay:Time_ns.t ->
+    (unit -> unit) ->
+    unit;
+}
+
 type t = {
   mutable clock : Time_ns.t;
   mutable seq : int;
   queue : (unit -> unit) Eheap.t;
   mutable processed : int;
   mutable normal_pending : int;  (* non-daemon (normal + deferred) events queued *)
+  mutable router : router option;  (* the sharded façade's cross-node hook *)
 }
 
 let create () =
@@ -34,6 +46,7 @@ let create () =
     queue = Eheap.create ~capacity:256 ~dummy:nothing ();
     processed = 0;
     normal_pending = 0;
+    router = None;
   }
 
 let now t = t.clock
@@ -53,6 +66,22 @@ let schedule_at t ?(daemon = false) ?(deferred = false) ~at f =
 let schedule_after t ?daemon ?deferred ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at t ?daemon ?deferred ~at:(t.clock + delay) f
+
+(* The sharded façade: cross-node work is enqueued through [post], which a
+   sharded driver can reroute into per-pair mailboxes (Shard).  With no
+   router installed — the whole sequential world, and any sharded run at
+   shard count 1 — [post] is exactly [schedule_after]: same queue, same
+   sequence numbers, byte-identical schedules. *)
+let set_router t r = t.router <- r
+let router t = t.router
+
+let post t ?(daemon = false) ?(deferred = false) ~src ~dst ~delay f =
+  match t.router with
+  | None ->
+    ignore src;
+    ignore dst;
+    schedule_after t ~daemon ~deferred ~delay f
+  | Some r -> r.route ~src ~dst ~daemon ~deferred ~delay f
 
 let every t ?daemon ~period ?start f =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";

@@ -37,6 +37,43 @@ val schedule_after :
 (** [schedule_after t ~delay f] is [schedule_at t ~at:(now t + delay) f].
     Negative delays raise [Invalid_argument]. *)
 
+(** {2 Sharded façade}
+
+    Cross-node work (an IPI, an RPC message, a block-transfer completion)
+    goes through {!post}, which names the source and destination nodes.
+    By default [post] is {!schedule_after} on this engine's own queue —
+    the strictly sequential world, unchanged.  A sharded driver
+    ({!Shard}) installs a {!router} to carry such events into per-pair
+    mailboxes instead; shard count 1 installs no router, so the
+    single-shard schedule is byte-identical to the sequential one. *)
+
+type router = {
+  route :
+    src:int ->
+    dst:int ->
+    daemon:bool ->
+    deferred:bool ->
+    delay:Time_ns.t ->
+    (unit -> unit) ->
+    unit;
+}
+
+val set_router : t -> router option -> unit
+val router : t -> router option
+
+val post :
+  t ->
+  ?daemon:bool ->
+  ?deferred:bool ->
+  src:int ->
+  dst:int ->
+  delay:Time_ns.t ->
+  (unit -> unit) ->
+  unit
+(** Enqueue cross-node work from node [src] due at node [dst] after
+    [delay].  Identical to {!schedule_after} unless a router is
+    installed. *)
+
 val every : t -> ?daemon:bool -> period:Time_ns.t -> ?start:Time_ns.t -> (unit -> bool) -> unit
 (** Run a recurring event each [period]; the first firing is at [start]
     (default [now t + period]).  The event recurs while the callback returns

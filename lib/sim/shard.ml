@@ -1,0 +1,344 @@
+(* The sharded peer of Engine: one simulation's event queue split into
+   per-node-cluster shards, advanced in parallel by OCaml 5 domains under
+   conservative time-window synchronization.
+
+   Determinism contract — byte-identical output at ANY shard count and ANY
+   domain count:
+
+   - Every event carries the key (time, src_node, src_seq), where src_seq
+     is drawn from a per-node counter at scheduling time.  A node's
+     counter is only ever advanced while one of that node's own events
+     runs (or during single-domain setup), so the keys an execution
+     produces are a pure function of the workload, not of the sharding.
+   - Each shard executes its events in strict key order.  Two events for
+     the same node therefore always run in the same relative order, and a
+     node's entire event history is identical whatever shard it lives on
+     and whoever drives that shard.
+   - Cross-shard events travel through per-(src,dst)-shard mailboxes and
+     are folded into the destination heap at window boundaries; since the
+     key rides along, arrival order through the mailbox is irrelevant.
+
+   The conservative window: no event may affect another node sooner than
+   [lookahead] ns (the machine's minimum cross-node latency — T_r, T_b and
+   the IPI cost all bound it from above, Config.lookahead_ns).  Each round
+   every shard may therefore run all events in [m, m + lookahead), where m
+   is the global minimum pending timestamp: any cross-node event posted
+   during the round lands at or after m + lookahead.  Rounds are separated
+   by a barrier; mailboxes are written only in run phases and drained only
+   in drain phases, so each buffer has one owner at a time and the barrier
+   publishes it.
+
+   A single shard driven by one domain degenerates to a plain event loop
+   in (time, node, seq) order — no mailboxes, no windows cut short, no
+   barriers taken.
+
+   Packed keys: the heap's seq word carries (src_node lsl 36) lor src_seq.
+   With more than one node that exceeds Eheap's packed-seq range, so big
+   sharded runs execute in Eheap's two-array fallback mode — the
+   previously-untested headroom path, now load-bearing (and covered by
+   regression tests). *)
+
+let node_seq_bits = 36
+let max_node_seq = (1 lsl node_seq_bits) - 1
+
+type event = Time_ns.t -> unit
+
+let dummy_event (_ : Time_ns.t) = ()
+
+(* Mailbox for one (src shard, dst shard) pair.  Written by the source
+   shard during run phases, drained and cleared by the destination shard
+   during drain phases; the inter-phase barrier transfers ownership, so no
+   lock is ever taken. *)
+type box = {
+  mutable b_at : int array;
+  mutable b_key : int array;
+  mutable b_fn : event array;
+  mutable b_len : int;
+}
+
+let box_create () =
+  { b_at = Array.make 8 0; b_key = Array.make 8 0; b_fn = Array.make 8 dummy_event; b_len = 0 }
+
+let box_push b ~at ~key fn =
+  let n = b.b_len in
+  if n = Array.length b.b_at then begin
+    let cap = 2 * n in
+    let grow a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 n;
+      a'
+    in
+    b.b_at <- grow b.b_at 0;
+    b.b_key <- grow b.b_key 0;
+    b.b_fn <- grow b.b_fn dummy_event
+  end;
+  b.b_at.(n) <- at;
+  b.b_key.(n) <- key;
+  b.b_fn.(n) <- fn;
+  b.b_len <- n + 1
+
+type shard = {
+  sid : int;
+  heap : event Eheap.t;
+  mutable clock : Time_ns.t;  (* timestamp of the event being run *)
+  mutable processed : int;
+  mutable min_pending : Time_ns.t;  (* published at each barrier; max_int = empty *)
+}
+
+type t = {
+  nodes : int;
+  nshards : int;
+  lookahead : Time_ns.t;
+  check : bool;
+  shards_ : shard array;
+  node_shard : int array;  (* node -> shard *)
+  node_seq : int array;  (* node -> next seq (single-writer: owning shard) *)
+  boxes : box array;  (* (src shard * nshards) + dst shard *)
+  mutable windows : int;
+  mutable running : bool;
+  mutable window_end : Time_ns.t;  (* exclusive bound of the current run phase *)
+}
+
+let create ?check ~nodes ~shards ~lookahead () =
+  if nodes < 1 then invalid_arg "Shard.create: nodes must be >= 1";
+  if nodes > 1 lsl 25 then invalid_arg "Shard.create: too many nodes";
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  if lookahead < 1 then invalid_arg "Shard.create: lookahead must be >= 1";
+  let check =
+    match check with
+    | Some b -> b
+    | None -> ( match Sys.getenv_opt "PLATINUM_CHECK" with Some "1" -> true | _ -> false)
+  in
+  let nshards = min shards nodes in
+  {
+    nodes;
+    nshards;
+    lookahead;
+    check;
+    shards_ =
+      Array.init nshards (fun sid ->
+          {
+            sid;
+            heap = Eheap.create ~capacity:64 ~dummy:dummy_event ();
+            clock = 0;
+            processed = 0;
+            min_pending = max_int;
+          });
+    (* Contiguous blocks: node n lives on shard n*S/N, which keeps
+       cluster neighbours together for any S <= clusters. *)
+    node_shard = Array.init nodes (fun n -> n * nshards / nodes);
+    node_seq = Array.make nodes 0;
+    boxes = Array.init (nshards * nshards) (fun _ -> box_create ());
+    windows = 0;
+    running = false;
+    window_end = max_int;
+  }
+
+let nodes t = t.nodes
+let shards t = t.nshards
+let lookahead t = t.lookahead
+let shard_of_node t node = t.node_shard.(node)
+let windows t = t.windows
+
+let events_processed t =
+  Array.fold_left (fun acc s -> acc + s.processed) 0 t.shards_
+
+let clock t = Array.fold_left (fun acc s -> max acc s.clock) 0 t.shards_
+
+let now t ~node = t.shards_.(t.node_shard.(node)).clock
+
+let check_node t node what =
+  if node < 0 || node >= t.nodes then
+    invalid_arg (Printf.sprintf "Shard.%s: no node %d" what node)
+
+(* Draw the next key for an event originating at [node].  The per-node
+   counter makes the key independent of sharding; see the header. *)
+let key_of t ~node =
+  let seq = t.node_seq.(node) in
+  if seq > max_node_seq then invalid_arg "Shard: per-node sequence overflow";
+  t.node_seq.(node) <- seq + 1;
+  (node lsl node_seq_bits) lor seq
+
+let schedule t ~node ~delay fn =
+  check_node t node "schedule";
+  if delay < 0 then invalid_arg "Shard.schedule: negative delay";
+  let s = t.shards_.(t.node_shard.(node)) in
+  let at = s.clock + delay in
+  Eheap.add s.heap ~time:at ~seq:(key_of t ~node) fn
+
+let post t ~src ~dst ~delay fn =
+  check_node t src "post";
+  check_node t dst "post";
+  if src = dst then schedule t ~node:src ~delay fn
+  else begin
+    (* The conservative contract: cross-node effects are at least one
+       lookahead away.  Enforced for every src <> dst pair — including
+       same-shard pairs — so whether the rule fires can never depend on
+       the shard count. *)
+    if delay < t.lookahead then
+      invalid_arg
+        (Printf.sprintf "Shard.post: cross-node delay %d below lookahead %d" delay
+           t.lookahead);
+    let ss = t.shards_.(t.node_shard.(src)) in
+    let ds = t.node_shard.(dst) in
+    let at = ss.clock + delay in
+    let key = key_of t ~node:src in
+    if ds = ss.sid || not t.running then
+      (* Same shard (or pre-run setup): straight into the heap; the key
+         carries the merge order either way. *)
+      Eheap.add t.shards_.(ds).heap ~time:at ~seq:key fn
+    else box_push t.boxes.((ss.sid * t.nshards) + ds) ~at ~key fn
+  end
+
+(* --- per-shard phases (each touches only [s]'s own state plus, in the
+   drain phase, the mailboxes it exclusively owns this phase) --- *)
+
+let drain_phase t (s : shard) =
+  let n = t.nshards in
+  for src = 0 to n - 1 do
+    let b = t.boxes.((src * n) + s.sid) in
+    for i = 0 to b.b_len - 1 do
+      if t.check && b.b_at.(i) < s.clock then
+        failwith
+          (Printf.sprintf
+             "Shard check: mailbox delivery at %d before shard %d clock %d (window \
+              violation)"
+             b.b_at.(i) s.sid s.clock);
+      Eheap.add s.heap ~time:b.b_at.(i) ~seq:b.b_key.(i) b.b_fn.(i);
+      b.b_fn.(i) <- dummy_event
+    done;
+    b.b_len <- 0
+  done;
+  s.min_pending <- (if Eheap.is_empty s.heap then max_int else Eheap.min_time s.heap)
+
+let run_phase t (s : shard) ~window_end =
+  let continue = ref true in
+  while !continue do
+    if Eheap.is_empty s.heap then continue := false
+    else begin
+      let at = Eheap.min_time s.heap in
+      if at >= window_end then continue := false
+      else begin
+        let fn = Eheap.pop s.heap in
+        if t.check && at < s.clock then
+          failwith
+            (Printf.sprintf "Shard check: shard %d time ran backwards (%d after %d)" s.sid
+               at s.clock);
+        s.clock <- at;
+        s.processed <- s.processed + 1;
+        fn at
+      end
+    end
+  done;
+  (* Catch up idle shards so late-seeded events can't be scheduled into
+     another shard's past. *)
+  if window_end > s.clock && window_end < max_int then s.clock <- window_end
+
+(* --- the domain pool ---
+
+   A tiny phase barrier: the leader publishes a job (an index -> unit
+   closure over shards) by bumping [round] after resetting the round's
+   ticket counter; every participant — leader included — claims shard
+   tickets until they run out, then the leader waits for all shards to be
+   marked done.  Tickets are per-round-parity, so a straggler from the
+   previous round can never steal a ticket that was already reset.
+   Atomic operations provide the publication fences for the mailbox and
+   heap state crossing domains. *)
+
+type pool = {
+  round : int Atomic.t;
+  tickets : int Atomic.t array;  (* one per round parity *)
+  done_shards : int Atomic.t;
+  job : (int -> unit) ref;
+  stop : bool Atomic.t;
+}
+
+let pool_create () =
+  {
+    round = Atomic.make 0;
+    tickets = [| Atomic.make 0; Atomic.make 0 |];
+    done_shards = Atomic.make 0;
+    job = ref (fun _ -> ());
+    stop = Atomic.make false;
+  }
+
+let claim_all pool ~nshards ~parity =
+  let tickets = pool.tickets.(parity) in
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add tickets 1 in
+    if i >= nshards then continue := false
+    else begin
+      !(pool.job) i;
+      Atomic.incr pool.done_shards
+    end
+  done
+
+let worker pool ~nshards =
+  let last = ref 0 in
+  while not (Atomic.get pool.stop) do
+    let r = Atomic.get pool.round in
+    if r = !last then Domain.cpu_relax ()
+    else begin
+      last := r;
+      claim_all pool ~nshards ~parity:(r land 1)
+    end
+  done
+
+let leader_phase pool ~nshards f =
+  let r = Atomic.get pool.round + 1 in
+  pool.job := f;
+  Atomic.set pool.done_shards 0;
+  Atomic.set pool.tickets.(r land 1) 0;
+  Atomic.set pool.round r;  (* publishes job + resets *)
+  claim_all pool ~nshards ~parity:(r land 1);
+  while Atomic.get pool.done_shards < nshards do Domain.cpu_relax () done
+
+(* --- the window loop --- *)
+
+let global_min t =
+  Array.fold_left (fun acc s -> min acc s.min_pending) max_int t.shards_
+
+let run_rounds t ~phase =
+  let continue = ref true in
+  (* Round 0 folds in anything posted during setup and publishes mins. *)
+  phase (fun i -> drain_phase t t.shards_.(i));
+  while !continue do
+    let m = global_min t in
+    if m = max_int then continue := false
+    else begin
+      let window_end = m + t.lookahead in
+      t.window_end <- window_end;
+      t.windows <- t.windows + 1;
+      phase (fun i -> run_phase t t.shards_.(i) ~window_end);
+      phase (fun i -> drain_phase t t.shards_.(i))
+    end
+  done
+
+let run ?(domains = 1) t =
+  if domains < 1 then invalid_arg "Shard.run: domains must be >= 1";
+  if t.running then invalid_arg "Shard.run: already running";
+  t.running <- true;
+  let ndomains = min domains t.nshards in
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      if ndomains = 1 then
+        (* One domain: the same rounds, claimed in shard order, no pool,
+           no barriers — and the same results, by the key contract. *)
+        run_rounds t ~phase:(fun f ->
+            for i = 0 to t.nshards - 1 do
+              f i
+            done)
+      else begin
+        let pool = pool_create () in
+        let workers =
+          Array.init (ndomains - 1) (fun _ ->
+              Domain.spawn (fun () -> worker pool ~nshards:t.nshards))
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set pool.stop true;
+            Array.iter Domain.join workers)
+          (fun () -> run_rounds t ~phase:(leader_phase pool ~nshards:t.nshards))
+      end)

@@ -1,0 +1,70 @@
+(** Sharded discrete-event engine: one simulation's queue split into
+    per-node-cluster shards advanced in parallel by OCaml 5 domains under
+    conservative time-window synchronization.
+
+    Every event carries the key [(time, src_node, src_seq)]; each shard
+    executes its events in strict key order; cross-shard events travel
+    through per-pair mailboxes and merge by key at window boundaries.  The
+    window width is the machine's minimum cross-node latency (the
+    lookahead; see {!Platinum_machine.Config.lookahead_ns}): inside one
+    window no shard can affect another, so output is byte-identical at any
+    shard count and any domain count, and a single shard on one domain
+    degenerates to today's sequential event loop.
+
+    Handler contract: an event handler may [schedule] further work for its
+    own node at any delay, and [post] work to other nodes at a delay of at
+    least the lookahead.  Handlers must touch only their own node's state
+    — that is what makes a node's history independent of where it is
+    sharded, and what makes running shards on parallel domains safe. *)
+
+type t
+
+type event = Time_ns.t -> unit
+(** A handler, applied to its delivery time. *)
+
+val create : ?check:bool -> nodes:int -> shards:int -> lookahead:Time_ns.t -> unit -> t
+(** A group of [shards] shards over [nodes] logical nodes (shards are
+    clamped to the node count; nodes map to shards in contiguous blocks).
+    [lookahead] is the conservative window width — no [post] may use a
+    smaller delay.  [check] arms the window-invariant self-checks (default:
+    the [PLATINUM_CHECK=1] environment variable, like the coherence
+    monitor); they verify time never runs backwards and no mailbox
+    delivery lands in a shard's past, and raise [Failure] on violation. *)
+
+val nodes : t -> int
+val shards : t -> int
+val lookahead : t -> Time_ns.t
+
+val shard_of_node : t -> int -> int
+(** Which shard owns a node. *)
+
+val now : t -> node:int -> Time_ns.t
+(** The owning shard's clock (the timestamp of its current event). *)
+
+val schedule : t -> node:int -> delay:Time_ns.t -> event -> unit
+(** Schedule node-local work [delay] ns after the node's current time.
+    Only the node's own handlers (or pre-run setup code) may call this —
+    the per-node sequence counter is single-writer. *)
+
+val post : t -> src:int -> dst:int -> delay:Time_ns.t -> event -> unit
+(** Send cross-node work from [src], due at [dst] after [delay].  For
+    [src <> dst] the delay must be at least the lookahead
+    ([Invalid_argument] otherwise — enforced for same-shard pairs too, so
+    behaviour can never depend on the shard count).  [post t ~src ~dst]
+    with [src = dst] is {!schedule}. *)
+
+val run : ?domains:int -> t -> unit
+(** Advance windows until every shard is quiescent (no pending events, no
+    undelivered mail).  [domains = 1] (the default) drives every shard on
+    the calling domain; larger counts spawn a pool of [domains - 1]
+    workers that claim shards each phase.  The result is identical either
+    way. *)
+
+val events_processed : t -> int
+(** Events executed so far, across all shards. *)
+
+val windows : t -> int
+(** Synchronization windows taken so far. *)
+
+val clock : t -> Time_ns.t
+(** The latest shard clock (after {!run}: the common final time). *)

@@ -18,6 +18,7 @@ let () =
       ("golden", Test_golden.suite);
       ("soak", Test_soak.suite);
       ("par", Test_parsweep.suite);
+      ("parshard", Test_parshard.suite);
       ("extensions", Test_extensions.suite);
       ("units", Test_units.suite);
     ]

@@ -1,0 +1,187 @@
+(* The sharded event engine (Sim.Shard) and the message-level scale
+   workloads built on it (Platinum_scale.Scale).
+
+   The load-bearing contract: a sharded run is a pure function of the
+   workload parameters — the shard count and domain count never change a
+   single byte of the result.  We pin that by fingerprint across a
+   shards x domains grid, for all three workloads, with the window
+   self-checks armed, and again with the fault plane injecting at 2%
+   (so the IPI-retry and RPC-retransmission recovery paths are inside the
+   determinism envelope, not outside it). *)
+
+module Shard = Platinum_sim.Shard
+module Config = Platinum_machine.Config
+module Scale = Platinum_scale.Scale
+
+(* Grids kept modest: the full matrix runs under alcotest Quick. *)
+let shard_counts = [ 1; 2; 8 ]
+let domain_counts = [ 1; 2; 4 ]
+
+let small = Config.hierarchical ~cluster_size:4 ~nodes:24 ()
+
+(* --- Shard mechanics --- *)
+
+let test_shard_basics () =
+  let sh = Shard.create ~check:true ~nodes:8 ~shards:4 ~lookahead:1_000 () in
+  Alcotest.(check int) "nodes" 8 (Shard.nodes sh);
+  Alcotest.(check int) "shards" 4 (Shard.shards sh);
+  Alcotest.(check int) "lookahead" 1_000 (Shard.lookahead sh);
+  Alcotest.(check int) "node 0 on shard 0" 0 (Shard.shard_of_node sh 0);
+  Alcotest.(check int) "node 7 on shard 3" 3 (Shard.shard_of_node sh 7);
+  let log = ref [] in
+  Shard.schedule sh ~node:0 ~delay:10 (fun t -> log := (`A, t) :: !log);
+  Shard.schedule sh ~node:7 ~delay:5 (fun t -> log := (`B, t) :: !log);
+  Shard.post sh ~src:0 ~dst:7 ~delay:1_000 (fun t -> log := (`C, t) :: !log);
+  Shard.run sh;
+  Alcotest.(check int) "three events" 3 (Shard.events_processed sh);
+  Alcotest.(check (list (pair bool int)))
+    "delivery times in order"
+    [ (true, 5); (true, 10); (false, 1_000) ]
+    (List.rev_map (fun (k, t) -> (k <> `C, t)) !log
+    |> List.sort (fun (_, a) (_, b) -> compare a b))
+
+let test_shard_clamps_to_nodes () =
+  let sh = Shard.create ~nodes:3 ~shards:16 ~lookahead:100 () in
+  Alcotest.(check int) "shards clamped to node count" 3 (Shard.shards sh)
+
+let test_post_under_lookahead_rejected () =
+  let sh = Shard.create ~nodes:4 ~shards:2 ~lookahead:5_000 () in
+  (* Enforced even for a same-shard pair (nodes 0 and 1 both live on
+     shard 0), so legality never depends on the shard count. *)
+  Alcotest.check_raises "cross-node post under the lookahead"
+    (Invalid_argument "Shard.post: cross-node delay 4999 below lookahead 5000")
+    (fun () ->
+      Shard.post sh ~src:0 ~dst:1 ~delay:4_999 (fun _ -> ()));
+  (* src = dst is node-local scheduling: no lookahead constraint. *)
+  Shard.post sh ~src:0 ~dst:0 ~delay:1 (fun _ -> ());
+  Shard.run sh;
+  Alcotest.(check int) "local post delivered" 1 (Shard.events_processed sh)
+
+(* A cross-shard ping-pong whose event count and final clock are exact:
+   hand-checkable conservative-window behaviour. *)
+let test_shard_ping_pong () =
+  let run ~shards ~domains =
+    let sh = Shard.create ~check:true ~nodes:4 ~shards ~lookahead:100 () in
+    let hops = ref 0 in
+    let rec ping src dst _t =
+      if !hops < 50 then begin
+        incr hops;
+        Shard.post sh ~src ~dst ~delay:100 (ping dst src)
+      end
+    in
+    Shard.schedule sh ~node:0 ~delay:0 (ping 0 3);
+    Shard.run ~domains sh;
+    (!hops, Shard.events_processed sh, Shard.clock sh, Shard.windows sh)
+  in
+  let h, e, c, _ = run ~shards:1 ~domains:1 in
+  Alcotest.(check int) "50 hops" 50 h;
+  Alcotest.(check int) "51 events" 51 e;
+  (* Last delivery at 50 x 100 ns; the final window's idle catch-up then
+     advances the clocks to its end, one lookahead past it. *)
+  Alcotest.(check int) "clock = last delivery + final window" 5_100 c;
+  let h4, e4, c4, _ = run ~shards:4 ~domains:2 in
+  Alcotest.(check (list int))
+    "identical at 4 shards / 2 domains" [ h; e; c ] [ h4; e4; c4 ]
+
+(* --- byte-identical fingerprints across the grid --- *)
+
+let fingerprint_grid ?(inject_rate = 0.0) ~check workload =
+  List.concat_map
+    (fun shards ->
+      List.map
+        (fun domains ->
+          let r =
+            Scale.run ~check ~shards ~domains ~inject_rate ~seed:7L
+              ~ops_per_node:30 ~config:small workload
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s s=%d d=%d made progress" r.Scale.workload shards
+               domains)
+            true
+            (r.Scale.events > 0 && r.Scale.clock > 0);
+          Printf.sprintf "%s events=%d windows=%d clock=%d fp=%s" r.Scale.workload
+            r.Scale.events r.Scale.windows r.Scale.clock r.Scale.fingerprint)
+        domain_counts)
+    shard_counts
+
+let check_grid_identical name lines =
+  match lines with
+  | [] -> Alcotest.fail "empty grid"
+  | baseline :: _ ->
+    Alcotest.(check (list string))
+      name
+      (List.map (fun _ -> baseline) lines)
+      lines
+
+let test_workload_deterministic workload () =
+  (* check:true = the PLATINUM_CHECK window monitors are armed in every
+     cell; a violation raises and fails the test. *)
+  fingerprint_grid ~check:true workload
+  |> check_grid_identical "fingerprint identical across shards x domains"
+
+let test_workload_deterministic_injected workload () =
+  fingerprint_grid ~check:true ~inject_rate:0.02 workload
+  |> check_grid_identical "fingerprint identical under 2% fault injection"
+
+let test_injection_exercises_recovery () =
+  (* At 2% over enough ops the adversary must actually fire — otherwise
+     the injected grid above degenerates to the clean one. *)
+  let storm =
+    Scale.run ~inject_rate:0.02 ~seed:7L ~ops_per_node:60 ~config:small
+      Scale.Storm
+  in
+  Alcotest.(check bool) "storm faults injected" true (storm.Scale.faults > 0);
+  Alcotest.(check bool) "shootdown retries taken" true (storm.Scale.retries > 0);
+  let echo =
+    Scale.run ~inject_rate:0.02 ~seed:7L ~ops_per_node:60 ~config:small
+      Scale.Echo
+  in
+  Alcotest.(check bool) "rpc retransmissions taken" true (echo.Scale.retries > 0)
+
+let test_clean_vs_injected_differ () =
+  let fp rate =
+    (Scale.run ~inject_rate:rate ~seed:7L ~ops_per_node:30 ~config:small
+       Scale.Storm)
+      .Scale.fingerprint
+  in
+  Alcotest.(check bool) "2% injection perturbs the run" true (fp 0.0 <> fp 0.02)
+
+let test_hierarchical_topology_visible () =
+  (* On a clustered machine some traffic must cross the fabric, and the
+     cross surcharge must show up against a flat machine of equal size. *)
+  let r = Scale.run ~seed:7L ~ops_per_node:30 ~config:small Scale.Traffic in
+  Alcotest.(check bool) "cross-fabric accesses occurred" true (r.Scale.cross > 0);
+  Alcotest.(check bool) "remote accesses occurred" true
+    (r.Scale.remote > r.Scale.cross);
+  let flat = Config.hierarchical ~cluster_size:24 ~nodes:24 () in
+  let rf = Scale.run ~seed:7L ~ops_per_node:30 ~config:flat Scale.Traffic in
+  Alcotest.(check int) "flat machine sees no cross traffic" 0 rf.Scale.cross;
+  Alcotest.(check bool) "cross surcharge raises mean latency" true
+    (r.Scale.avg_latency_ns > rf.Scale.avg_latency_ns)
+
+let suite =
+  let det w =
+    ( Printf.sprintf "golden: %s fingerprint across shards x domains"
+        (Scale.workload_name w),
+      `Quick,
+      test_workload_deterministic w )
+  in
+  let det_inj w =
+    ( Printf.sprintf "golden: %s fingerprint under 2%% injection"
+        (Scale.workload_name w),
+      `Quick,
+      test_workload_deterministic_injected w )
+  in
+  [
+    ("shard: basics", `Quick, test_shard_basics);
+    ("shard: shard count clamps to nodes", `Quick, test_shard_clamps_to_nodes);
+    ("shard: lookahead enforcement", `Quick, test_post_under_lookahead_rejected);
+    ("shard: cross-shard ping-pong", `Quick, test_shard_ping_pong);
+  ]
+  @ List.map det Scale.all_workloads
+  @ List.map det_inj Scale.all_workloads
+  @ [
+      ("scale: injection exercises recovery", `Quick, test_injection_exercises_recovery);
+      ("scale: injection perturbs the run", `Quick, test_clean_vs_injected_differ);
+      ("scale: topology visible in traffic", `Quick, test_hierarchical_topology_visible);
+    ]

@@ -115,6 +115,80 @@ let test_eheap_fallback () =
   Alcotest.(check (list int)) "order across the migration" [ 3; 1; 2 ]
     (List.map (fun (_, _, v) -> v) (drain_eheap h))
 
+let test_eheap_seq_fallback () =
+  (* The sharded engine packs (src_node lsl 36 | src_seq) into the seq
+     component, so any multi-node run blows past max_packed_seq on node 1's
+     first event.  The seq threshold therefore carries real traffic now —
+     pin the migration it triggers, mid-stream, with ties across the
+     representation change. *)
+  let h = Eheap.create ~dummy:0 () in
+  Eheap.add h ~time:10 ~seq:3 1;
+  Eheap.add h ~time:10 ~seq:Eheap.max_packed_seq 2;
+  Alcotest.(check bool) "max packed seq still packed" true (Eheap.is_packed h);
+  Eheap.add h ~time:10 ~seq:(Eheap.max_packed_seq + 1) 3;
+  Alcotest.(check bool) "seq + 1 spills" false (Eheap.is_packed h);
+  (* a shard-style wide key: node 5's event 0 *)
+  Eheap.add h ~time:10 ~seq:(5 lsl 36) 4;
+  Eheap.add h ~time:9 ~seq:((1 lsl 36) lor 7) 5;
+  Alcotest.(check (list int)) "lexicographic across the migration" [ 5; 1; 2; 3; 4 ]
+    (List.map (fun (_, _, v) -> v) (drain_eheap h))
+
+let test_eheap_threshold_edges () =
+  (* Exact boundary headroom on both components: the largest packed values
+     stay packed; one past either spills; keys compare identically in both
+     representations. *)
+  Alcotest.(check int) "packed time headroom is 2^36 ns" ((1 lsl 36) - 1)
+    Eheap.max_packed_time;
+  Alcotest.(check int) "packed seq headroom is 2^26" ((1 lsl 26) - 1)
+    Eheap.max_packed_seq;
+  let boundary = Eheap.create ~dummy:0 () in
+  Eheap.add boundary ~time:Eheap.max_packed_time ~seq:Eheap.max_packed_seq 1;
+  Alcotest.(check bool) "both components at max stay packed" true
+    (Eheap.is_packed boundary);
+  let spill_time = Eheap.create ~dummy:0 () in
+  Eheap.add spill_time ~time:(Eheap.max_packed_time + 1) ~seq:0 1;
+  Alcotest.(check bool) "time threshold spills alone" false (Eheap.is_packed spill_time);
+  (* Cross BOTH thresholds in one heap — a long sharded run: wide node
+     keys from the start, then simulated time past 2^36 ns (~69 s). *)
+  let h = Eheap.create ~dummy:0 () in
+  Eheap.add h ~time:(Eheap.max_packed_time + 100) ~seq:((3 lsl 36) lor 1) 4;
+  Eheap.add h ~time:(Eheap.max_packed_time + 100) ~seq:(2 lsl 36) 3;
+  Eheap.add h ~time:Eheap.max_packed_time ~seq:((9 lsl 36) lor 123) 2;
+  Eheap.add h ~time:50 ~seq:0 1;
+  Alcotest.(check bool) "wide keys + wide times coexist" false (Eheap.is_packed h);
+  Alcotest.(check (list int)) "order with both thresholds crossed" [ 1; 2; 3; 4 ]
+    (List.map (fun (_, _, v) -> v) (drain_eheap h))
+
+let prop_eheap_threshold_straddle =
+  (* Keys drawn from both sides of both packed thresholds, in random
+     insert order: pops must come back lexicographically sorted whatever
+     mixture of representations the inserts marched the heap through. *)
+  QCheck.Test.make ~name:"eheap total order straddling both packed thresholds"
+    ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (pair (int_bound 3) (int_bound 1_000)))
+    (fun picks ->
+      let h = Eheap.create ~capacity:1 ~dummy:(-1) () in
+      let keys =
+        List.mapi
+          (fun i (zone, off) ->
+            let time =
+              match zone with
+              | 0 -> off (* small packed *)
+              | 1 -> Eheap.max_packed_time - off (* near the edge, packed *)
+              | 2 -> Eheap.max_packed_time + 1 + off (* past the edge *)
+              | _ -> 2 * Eheap.max_packed_time (* deep fallback *)
+            in
+            (* unique seqs; half narrow, half shard-style wide *)
+            let seq = if i mod 2 = 0 then i else (i lsl 36) lor i in
+            (time, seq))
+          picks
+      in
+      List.iteri (fun i (time, seq) -> Eheap.add h ~time ~seq i) keys;
+      let popped = drain_eheap h in
+      let sorted = List.sort compare (List.map (fun (t, s, _) -> (t, s)) popped) in
+      List.map (fun (t, s, _) -> (t, s)) popped = sorted
+      && List.length popped = List.length keys)
+
 let prop_eheap_matches_pairing =
   (* The tentpole contract: the array heap dequeues in exactly the pairing
      heap's order on any insert / delete-min interleaving.  Ops: [Some t] =
@@ -205,6 +279,42 @@ let test_engine_nested_scheduling () =
   Engine.run e;
   Alcotest.(check (list string)) "nested event ran" [ "a"; "b" ] (List.rev !log);
   Alcotest.(check int) "clock" 15 (Engine.now e)
+
+let test_engine_post_default () =
+  (* Without a router, post IS schedule_after — same delivery times, same
+     FIFO tie order, src/dst ignored.  This is what keeps every golden
+     byte-identical while the kernel's cross-processor wakes route
+     through the façade. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.post e ~src:0 ~dst:3 ~delay:20 (fun () -> log := "b" :: !log);
+  Engine.post e ~src:2 ~dst:1 ~delay:10 (fun () -> log := "a" :: !log);
+  Engine.schedule_after e ~delay:20 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "schedule_after semantics, ties FIFO"
+    [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock" 20 (Engine.now e)
+
+let test_engine_post_router () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.set_router e
+    (Some
+       {
+         Engine.route =
+           (fun ~src ~dst ~daemon ~deferred ~delay fn ->
+             seen := (src, dst, daemon, deferred, delay) :: !seen;
+             (* a router that adds a hop surcharge, then hands back *)
+             Engine.schedule_after e ~daemon ~deferred ~delay:(delay + 5) fn);
+       });
+  let at = ref 0 in
+  Engine.post e ~src:4 ~dst:9 ~delay:10 (fun () -> at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (list (pair (pair int int) (pair bool int))))
+    "router saw src/dst/flags/delay"
+    [ ((4, 9), (false, 10)) ]
+    (List.map (fun (s, d, dm, df, dl) -> ((s, d), (dm || df, dl))) !seen);
+  Alcotest.(check int) "routed delivery includes the surcharge" 15 !at
 
 let test_engine_every () =
   let e = Engine.create () in
@@ -407,11 +517,16 @@ let suite =
     ("eheap: empty", `Quick, test_eheap_empty);
     ("eheap: order and ties", `Quick, test_eheap_order);
     ("eheap: packed-range fallback", `Quick, test_eheap_fallback);
+    ("eheap: seq-threshold fallback (sharded wide keys)", `Quick, test_eheap_seq_fallback);
+    ("eheap: packed-threshold edges", `Quick, test_eheap_threshold_edges);
+    qtest prop_eheap_threshold_straddle;
     qtest prop_eheap_matches_pairing;
     ("engine: time order", `Quick, test_engine_order);
     ("engine: FIFO tie-break", `Quick, test_engine_fifo_ties);
     ("engine: rejects the past", `Quick, test_engine_past_rejected);
     ("engine: nested scheduling", `Quick, test_engine_nested_scheduling);
+    ("engine: post defaults to schedule_after", `Quick, test_engine_post_default);
+    ("engine: post routes through an installed router", `Quick, test_engine_post_router);
     ("engine: recurring events", `Quick, test_engine_every);
     ("engine: run_until horizon", `Quick, test_engine_run_until);
     ("engine: daemon events interleave", `Quick, test_engine_daemon_events);
