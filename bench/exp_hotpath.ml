@@ -9,14 +9,22 @@
    is identical; only the trap granularity differs — and records the result
    in BENCH_hotpath.json.
 
-   Since the flat-table rework the steady-state hit path (active aspace,
-   ATC hit, sufficient rights) is also contractually allocation-free, so
-   the experiment doubles as the allocation-budget gate: it measures
+   Since the coalescing fast path (DESIGN.md section 4g) the per-word
+   stream no longer pays a full suspend per word: while a fiber is armed,
+   consecutive micro-ATC hits drain inline and are charged as one batched
+   operation at the next effect boundary.  The experiment gates that
+   ratchet: the per-word stream must stay within 12x of the batched
+   stream (the seed measured 17.9x; the residual gap is the semantic
+   floor — a coalesced word still pays the full per-word cache and
+   interconnect simulation so goldens stay byte-identical, while a block
+   descriptor legitimately bulk-charges).
+
+   It also doubles as the allocation-budget gate: it measures
    [Gc.minor_words] deltas per access on three paths — the raw scratch
    driver ([Coherent.read_word_s]/[write_word_s]), the per-word Api stream,
    and the batched Api stream — and exits non-zero if the steady-state hit
-   exceeds the budget (2 minor words/access; target 0) or fails to beat the
-   per-word instrumented baseline by at least 10x. *)
+   exceeds its budget (2 minor words/access; target 0) or the coalesced
+   per-word stream exceeds its own (4 minor words/access). *)
 
 module Api = Platinum_kernel.Api
 module Config = Platinum_machine.Config
@@ -79,15 +87,24 @@ let measure ~per_word ~n ~iters ~nprocs ~reps =
   let config = Config.butterfly_plus ~nprocs () in
   let best = ref infinity in
   let mwords = ref 0.0 in
+  let fp = Platinum_kernel.Fastpath.ctx () in
+  let coalesced = ref 0 and fallbacks = ref 0 and runs = ref 0 in
   for _ = 1 to reps do
+    Platinum_kernel.Fastpath.reset_stats fp;
     let m0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
     ignore (Runner.time ~config (sweep ~per_word ~n ~iters ~nprocs));
     let dt = Unix.gettimeofday () -. t0 in
     mwords := Gc.minor_words () -. m0;
+    let st = Platinum_kernel.Fastpath.stats fp in
+    coalesced := st.Platinum_kernel.Fastpath.coalesced;
+    fallbacks := st.Platinum_kernel.Fastpath.fallbacks;
+    runs := st.Platinum_kernel.Fastpath.runs;
     if dt < !best then best := dt
   done;
-  (!best, !mwords /. float_of_int (sweep_words ~n ~iters))
+  ( !best,
+    !mwords /. float_of_int (sweep_words ~n ~iters),
+    (!runs, !coalesced, !fallbacks) )
 
 (* --- the steady-state hit, measured bare ---
 
@@ -129,38 +146,57 @@ let measure_steady ~ops =
 
 let run (scale : Exp_common.scale) =
   Exp_common.section "throughput: wall-clock words/second of the memory hot path";
-  let n = if scale.Exp_common.full then 96 else 64 in
+  let n = if scale.Exp_common.full then 384 else 256 in
   let iters = if scale.Exp_common.full then 8 else 4 in
   let nprocs = 4 and reps = 3 in
   let words = sweep_words ~n ~iters in
-  let wall_word, mwpa_word = measure ~per_word:true ~n ~iters ~nprocs ~reps in
-  let wall_txn, mwpa_txn = measure ~per_word:false ~n ~iters ~nprocs ~reps in
+  let wall_word, mwpa_word, (runs, coalesced, fallbacks) =
+    measure ~per_word:true ~n ~iters ~nprocs ~reps
+  in
+  let wall_txn, mwpa_txn, _ = measure ~per_word:false ~n ~iters ~nprocs ~reps in
   let steady_ops = 1_000_000 in
   let steady_wall, mwpa_steady = measure_steady ~ops:steady_ops in
   let rate w = float_of_int words /. w in
   let speedup = rate wall_txn /. rate wall_word in
+  let attempts = coalesced + fallbacks in
+  let coalesce_frac = if attempts = 0 then 0.0 else float_of_int coalesced /. float_of_int attempts in
   Printf.printf "  %d x %d grid, %d iterations, %d procs, %d data words\n" n n iters nprocs
     words;
   Printf.printf "  per-word stream: %.3f s wall  (%.0f words/s)\n" wall_word (rate wall_word);
   Printf.printf "  batched stream:  %.3f s wall  (%.0f words/s)\n" wall_txn (rate wall_txn);
   Printf.printf "  batched / per-word throughput: %.1fx\n" speedup;
+  Printf.printf "  coalescing: %d runs, %d words inline, %d fallbacks (%.1f%% coalesced)\n"
+    runs coalesced fallbacks (100.0 *. coalesce_frac);
   Printf.printf "  minor words/access: steady hit %.3f, per-word stream %.1f, batched %.1f\n"
     mwpa_steady mwpa_word mwpa_txn;
   Printf.printf "  steady-state driver: %d accesses in %.3f s (%.0f accesses/s)\n" steady_ops
     steady_wall (float_of_int steady_ops /. steady_wall);
   Exp_common.check_shape "batched stream moves >= 2x words/sec" (speedup >= 2.0);
-  (* The allocation budget (DESIGN.md section 4e): a steady-state hit may
-     allocate at most 2 minor words (target 0), and must beat the per-word
-     instrumented stream by >= 10x.  The floor in the ratio guards the
-     division when the steady path hits its 0-word target. *)
-  let budget = 2.0 in
-  let reduction = mwpa_word /. Float.max mwpa_steady 0.2 in
+  (* The coalescing ratchet (DESIGN.md section 4g): the seed's per-word
+     stream trailed the batched stream by 17.9x; with the effect-boundary
+     coalescer the gap must stay within 12x.  (It cannot reach parity: a
+     coalesced word still pays the full per-word cache + interconnect
+     simulation so Counters and goldens stay byte-identical, while a
+     block descriptor bulk-charges.) *)
+  let ratio_limit = 12.0 in
+  let ratio_ok = speedup <= ratio_limit in
+  Exp_common.check_shape
+    (Printf.sprintf "per-word stream within %.0fx of batched (seed: 17.9x)" ratio_limit)
+    ratio_ok;
+  (* The allocation budgets (DESIGN.md sections 4e, 4g): a steady-state
+     hit may allocate at most 2 minor words (target 0), and the coalesced
+     per-word Api stream at most 4 per access (the seed's instrumented
+     stream allocated ~25). *)
+  let budget = 2.0 and word_budget = 4.0 in
   let budget_ok = mwpa_steady <= budget in
-  let reduction_ok = reduction >= 10.0 in
+  let word_budget_ok = mwpa_word <= word_budget in
   Exp_common.check_shape
     (Printf.sprintf "steady-state hit allocates <= %.0f minor words/access" budget)
     budget_ok;
-  Exp_common.check_shape ">= 10x allocation reduction vs per-word stream" reduction_ok;
+  Exp_common.check_shape
+    (Printf.sprintf "per-word stream allocates <= %.0f minor words/access" word_budget)
+    word_budget_ok;
+  let all_ok = ratio_ok && budget_ok && word_budget_ok in
   let oc = open_out "BENCH_hotpath.json" in
   Printf.fprintf oc
     "{\n\
@@ -173,20 +209,27 @@ let run (scale : Exp_common.scale) =
     \  \"per_word\": { \"wall_s\": %.6f, \"words_per_sec\": %.0f },\n\
     \  \"batched\": { \"wall_s\": %.6f, \"words_per_sec\": %.0f },\n\
     \  \"throughput_ratio\": %.2f,\n\
+    \  \"ratio_budget\": { \"limit\": %.1f, \"seed\": 17.9, \"ok\": %b },\n\
+    \  \"coalescing\": { \"runs\": %d, \"words_inline\": %d, \"fallbacks\": %d, \
+     \"fraction\": %.4f },\n\
     \  \"steady_state\": { \"ops\": %d, \"wall_s\": %.6f, \"accesses_per_sec\": %.0f },\n\
     \  \"minor_words_per_access\": { \"steady_hit\": %.4f, \"per_word_stream\": %.2f, \
      \"batched_stream\": %.2f },\n\
-    \  \"alloc_budget\": { \"limit\": %.1f, \"ok\": %b }\n\
+    \  \"alloc_budget\": { \"steady_limit\": %.1f, \"per_word_limit\": %.1f, \"ok\": %b }\n\
      }\n"
     (Exp_common.host_json ()) n iters nprocs words wall_word (rate wall_word) wall_txn
-    (rate wall_txn) speedup steady_ops steady_wall
+    (rate wall_txn) speedup ratio_limit ratio_ok runs coalesced fallbacks coalesce_frac
+    steady_ops steady_wall
     (float_of_int steady_ops /. steady_wall)
-    mwpa_steady mwpa_word mwpa_txn budget
-    (budget_ok && reduction_ok);
+    mwpa_steady mwpa_word mwpa_txn budget word_budget
+    (budget_ok && word_budget_ok);
   close_out oc;
   Printf.printf "  wrote BENCH_hotpath.json\n%!";
-  if not (budget_ok && reduction_ok) then begin
-    Printf.printf "  ALLOCATION BUDGET EXCEEDED: steady=%.3f (limit %.1f), reduction=%.1fx\n%!"
-      mwpa_steady budget reduction;
+  if not all_ok then begin
+    Printf.printf
+      "  GATE FAILED: ratio=%.1fx (limit %.1f), steady=%.3f (limit %.1f), per-word=%.1f \
+       (limit %.1f)\n\
+       %!"
+      speedup ratio_limit mwpa_steady budget mwpa_word word_budget;
     exit 1
   end

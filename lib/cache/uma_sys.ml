@@ -174,6 +174,9 @@ let memsys t =
     advise = (fun ~now:_ ~proc:_ ~aspace:_ ~vaddr:_ ~len:_ _ -> 0);
     migrate_cost = (fun ~now:_ ~from_proc:_ ~to_proc:_ -> 50_000);
     describe = (fun () -> "bus-based UMA with write-through caches (Sequent Symmetry model)");
+    (* The UMA machine has no directory protocol to gate eligibility on;
+       every access keeps the full-suspend path. *)
+    fastpath = None;
   }
 
 let create ~machine ~params ~page_words =

@@ -46,6 +46,7 @@ let constructs =
     "Stack.create";
     "Weak.create";
     "Dynarray.create";
+    "Domain.DLS.new_key";
     "lazy";
     (* copies/conversions allocate fresh mutable containers too *)
     "Array.copy";

@@ -35,6 +35,15 @@ type t = {
   mutable monitor : Check.monitor option;  (* the runtime invariant monitor *)
   scratch : scratch;  (* submit's own result slot for word transactions *)
   txn_scratch : Memtxn.scratch option;  (* pre-wrapped for [?scratch:] passing *)
+  (* Fast-path invalidation epoch (DESIGN.md §4g): bumped whenever any
+     translation, directory state, frozen bit or the monitor changes, so
+     the coalescing layer's cached page probes die.  Coarse by design —
+     correctness only needs "no stale eligibility survives", and these
+     events are all off the hit path. *)
+  mutable fp_epoch : int;
+  fp_value : int ref;
+      (* result slot for the fp_read/fp_rmw hit cores — a shared cell
+         ({!fp_value_cell}) so the coalescer reads it without a call *)
 }
 
 let machine t = t.machine
@@ -128,6 +137,16 @@ let checkpoint t ~now =
   | Some m -> (
     match check_faults t with None -> () | Some f -> Check.raise_violation m ~now f)
 
+(* Invalidate every cached fast-path eligibility probe (DESIGN.md §4g).
+   Called from each protocol transition that can change a page's
+   translation, rights, directory state or frozen bit — including the
+   shootdown-bearing paths (unbind, thaw, collapse) and every fault
+   resolution — plus monitor arming, which must force all traffic back
+   onto the monitored full path. *)
+let fp_bump t = t.fp_epoch <- t.fp_epoch + 1
+
+let fp_epoch t = t.fp_epoch
+
 (* A frozen page must have exactly one backing copy (§4.2: "there can only
    be one physical page backing a frozen Cpage").  A replica can slip in
    between an invalidation and the next miss when fault-handling latency
@@ -136,6 +155,7 @@ let checkpoint t ~now =
    mapping is still installed and harmless. *)
 let freeze_page t ~now (page : Cpage.t) =
   if (not page.Cpage.frozen) && Cpage.ncopies page = 1 then begin
+    fp_bump t;
     page.Cpage.frozen <- true;
     page.Cpage.stats.Cpage.freezes <- page.Cpage.stats.Cpage.freezes + 1;
     page.Cpage.stats.Cpage.was_frozen <- true;
@@ -151,6 +171,7 @@ let freeze_page t ~now (page : Cpage.t) =
 
 let thaw_page t ~now (page : Cpage.t) =
   if page.Cpage.frozen then begin
+    fp_bump t;
     page.Cpage.frozen <- false;
     page.Cpage.stats.Cpage.thaws <- page.Cpage.stats.Cpage.thaws + 1;
     t.counters.Counters.thaws <- t.counters.Counters.thaws + 1;
@@ -252,6 +273,8 @@ let create machine ~engine:_ ~policy ?(frames_per_module = 1024) () =
     monitor = (if Check.env_enabled () then Some (Check.create_monitor ()) else None);
     scratch = make_scratch ();
     txn_scratch = Some (Memtxn.make_scratch ());
+    fp_epoch = 0;
+    fp_value = ref 0;
   }
 
 let new_aspace t =
@@ -276,6 +299,7 @@ let new_cpage t ?home ?label () =
   page
 
 let bind t cm ~vpage page rights =
+  fp_bump t;
   ignore (Cmap.bind cm ~vpage page rights);
   let r =
     match Hashtbl.find_opt t.mappings page.Cpage.id with
@@ -292,6 +316,7 @@ let unbind t ~now cm ~vpage =
   match Cmap.find cm ~vpage with
   | None -> 0
   | Some ce ->
+    fp_bump t;
     let page = ce.Cmap.cpage in
     let r =
       Shootdown.run ?monitor:t.monitor ~machine:t.machine ~counters:t.counters ~atcs:t.atcs
@@ -317,6 +342,7 @@ let unbind t ~now cm ~vpage =
 let activate t ~now:_ ~proc ~aspace =
   if t.active_aspace.(proc) = aspace then 0
   else begin
+    fp_bump t;
     let prev = t.active_aspace.(proc) in
     if prev >= 0 then begin
       match Hashtbl.find_opt t.cmaps prev with
@@ -350,6 +376,9 @@ let translate t ~now ~proc ~cmap:cm ~vpage ~write =
       (match t.monitor with
       | None -> ()
       | Some m -> Check.note m ~now (Check.Request { proc; aspace; vpage; write }));
+      (* Any fault resolution may replicate, migrate, shoot down or
+         freeze: cached fast-path probes are stale. *)
+      fp_bump t;
       let entry, lat = Fault.handle (fault_ctx t) ~now:(now + act) ~proc ~cmap:cm ~vpage ~write in
       checkpoint t ~now:(now + act + lat);
       (entry, act + lat))
@@ -490,6 +519,64 @@ let rmw_word_s t sc ~now ~proc ~cmap:cm ~vaddr f =
     let e, l1 = translate t ~now ~proc ~cmap:cm ~vpage ~write:true in
     finish_rmw t sc ~now ~proc ~cm ~vpage ~vaddr ~l1 e f
 
+(* --- the coalescing fast-path cores (DESIGN.md §4g) ---
+
+   Hit-only variants of the [_s] word paths for the effect-boundary
+   coalescer: they complete a word access if and only if it is a clean
+   steady-state hit (active aspace, ATC entry, sufficient rights),
+   returning its latency, and return [-1] otherwise — they never
+   translate, never fault, never touch policy state.  A successful call
+   charges exactly what the [_s] path's hit arm charges (the same
+   [finish_*] core at the same [now]), with the value in [fp_value].
+
+   Page-level eligibility (frozen bit, monitor, aspace residency) is
+   checked once per page by [fp_page_ok] and cached by the caller against
+   {!fp_epoch}; the per-word cores still re-verify the ATC hit so a stale
+   cache can only decline, never mis-accept. *)
+
+let fp_page_ok t ~proc ~cmap:cm ~vpage ~write =
+  (match t.monitor with None -> true | Some _ -> false)
+  && t.active_aspace.(proc) = Cmap.aspace cm
+  && (match Atc.find t.atcs.(proc) ~aspace:(Cmap.aspace cm) ~vpage with
+     | Some e -> (
+       ((not write) || e.Pmap.write_ok)
+       && match Cmap.find cm ~vpage with
+          | Some ce -> not ce.Cmap.cpage.Cpage.frozen
+          | None -> false)
+     | None -> false)
+
+let fp_read t ~now ~proc ~cmap:cm ~vpage ~vaddr =
+  let aspace = Cmap.aspace cm in
+  if t.active_aspace.(proc) = aspace then
+    match Atc.find t.atcs.(proc) ~aspace ~vpage with
+    | Some e ->
+      t.fp_value := finish_read t t.scratch ~now ~proc ~cm ~vpage ~vaddr ~l1:0 e;
+      t.scratch.s_latency
+    | None -> -1
+  else -1
+
+let fp_write t ~now ~proc ~cmap:cm ~vpage ~vaddr v =
+  let aspace = Cmap.aspace cm in
+  if t.active_aspace.(proc) = aspace then
+    match Atc.find t.atcs.(proc) ~aspace ~vpage with
+    | Some e when e.Pmap.write_ok ->
+      finish_write t t.scratch ~now ~proc ~cm ~vpage ~vaddr ~l1:0 e v;
+      t.scratch.s_latency
+    | _ -> -1
+  else -1
+
+let fp_rmw t ~now ~proc ~cmap:cm ~vpage ~vaddr f =
+  let aspace = Cmap.aspace cm in
+  if t.active_aspace.(proc) = aspace then
+    match Atc.find t.atcs.(proc) ~aspace ~vpage with
+    | Some e when e.Pmap.write_ok ->
+      t.fp_value := finish_rmw t t.scratch ~now ~proc ~cm ~vpage ~vaddr ~l1:0 e f;
+      t.scratch.s_latency
+    | _ -> -1
+  else -1
+
+let fp_value_cell t = t.fp_value
+
 (* The multi-word access path.  Memtxn.run drives the per-page chunk loop
    and the latency accumulation; this chunk_cost supplies the PLATINUM
    semantics: block and strided transfers bypass the word caches entirely
@@ -621,6 +708,7 @@ type advice =
 (* Collapse a page's directory to one copy, preferring module [keep_on]
    (allocating there if needed); shoots down every translation. *)
 let collapse_to t ~now ~proc ~keep_on (page : Cpage.t) =
+  fp_bump t;
   let lat = ref 0 in
   let cfg = config t in
   let chosen =
@@ -706,6 +794,8 @@ let n_cpages t = Hashtbl.length t.cpages
 
 (* --- sanitizer access --- *)
 
-let set_monitor t m = t.monitor <- m
+let set_monitor t m =
+  fp_bump t;
+  t.monitor <- m
 let monitor t = t.monitor
 let atc t ~proc = t.atcs.(proc)

@@ -74,6 +74,39 @@ val rmw_word_s :
   (int -> int) -> int
 (** The old value; latency via {!scratch_latency}. *)
 
+(* --- the coalescing fast-path cores (DESIGN.md §4g) ---
+
+   Hit-only word accesses for the kernel's effect-boundary coalescer:
+   they complete the access iff it is a clean steady-state hit (active
+   aspace, ATC entry, sufficient rights), returning its latency, and
+   return [-1] otherwise — never translating, never faulting, never
+   touching policy state.  A successful call charges exactly what the
+   [_s] path's hit arm charges at the same [now]; read the result via
+   {!fp_value}.  Not reentrant (they share the internal scratch). *)
+
+val fp_epoch : t -> int
+(** The invalidation epoch: bumped on every remap, freeze, thaw,
+    shootdown-bearing transition, fault resolution, aspace switch and
+    monitor change.  Cached {!fp_page_ok} verdicts are valid only while
+    the epoch is unchanged. *)
+
+val fp_page_ok : t -> proc:int -> cmap:Cmap.t -> vpage:int -> write:bool -> bool
+(** Page-level coalescing eligibility: monitor disarmed, the cmap's
+    aspace active on [proc], translation present in the ATC with
+    sufficient rights, and the page not frozen. *)
+
+val fp_read :
+  t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vpage:int -> vaddr:int -> int
+val fp_write :
+  t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vpage:int -> vaddr:int ->
+  int -> int
+val fp_rmw :
+  t -> now:Platinum_sim.Time_ns.t -> proc:int -> cmap:Cmap.t -> vpage:int -> vaddr:int ->
+  (int -> int) -> int
+
+val fp_value_cell : t -> int ref
+(** The shared result cell the last successful {!fp_read}/{!fp_rmw} wrote. *)
+
 val translate :
   t ->
   now:Platinum_sim.Time_ns.t ->

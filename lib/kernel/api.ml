@@ -12,19 +12,45 @@ let words txn =
   | Memtxn.Words a -> a
   | _ -> assert false
 
-let read vaddr = word (Memtxn.Read { vaddr })
-let write vaddr value = ignore (access (Memtxn.Write { vaddr; value }))
-let rmw vaddr f = word (Memtxn.Rmw { vaddr; f })
+(* The word operations probe the coalescing fast path first (DESIGN.md
+   §4g): while the kernel has armed the current fiber and the access is a
+   clean micro-ATC hit, it completes inline — no effect, no suspend — and
+   its cost joins the run's batched charge.  Anything else performs the
+   effect exactly as before.  Run detection is automatic: consecutive
+   [read]/[write]/[rmw] calls form runs with no [?bulk] variants. *)
+let read vaddr =
+  let c = Fastpath.ctx () in
+  if Fastpath.try_read c vaddr then Fastpath.value c else word (Memtxn.Read { vaddr })
+
+let write vaddr value =
+  let c = Fastpath.ctx () in
+  if Fastpath.try_write c vaddr value then ()
+  else ignore (access (Memtxn.Write { vaddr; value }))
+
+let rmw vaddr f =
+  let c = Fastpath.ctx () in
+  if Fastpath.try_rmw c vaddr f then Fastpath.value c else word (Memtxn.Rmw { vaddr; f })
 let block_read vaddr len = words (Memtxn.Block_read { vaddr; len })
 let block_write vaddr data = ignore (access (Memtxn.Block_write { vaddr; data }))
 let read_array = block_read
 let write_array = block_write
 
 let read_stride ?(elem_words = 1) vaddr ~count ~stride =
+  if elem_words <= 0 then
+    invalid_arg (Printf.sprintf "read_stride: elem_words %d must be positive" elem_words);
+  if count < 0 then invalid_arg (Printf.sprintf "read_stride: negative count %d" count);
   words (Memtxn.Stride_read { vaddr; count; elem_words; stride })
 
 let write_stride ?(elem_words = 1) vaddr ~stride data =
-  let count = Array.length data / max elem_words 1 in
+  if elem_words <= 0 then
+    invalid_arg (Printf.sprintf "write_stride: elem_words %d must be positive" elem_words);
+  (* A ragged tail would silently truncate: the old code floored the
+     element count, dropping up to [elem_words - 1] trailing words. *)
+  if Array.length data mod elem_words <> 0 then
+    invalid_arg
+      (Printf.sprintf "write_stride: data length %d is not a multiple of elem_words %d"
+         (Array.length data) elem_words);
+  let count = Array.length data / elem_words in
   ignore (access (Memtxn.Stride_write { vaddr; data; count; elem_words; stride }))
 let compute ns = if ns > 0 then Effect.perform (Eff.Compute ns)
 let now () = Effect.perform Eff.Now

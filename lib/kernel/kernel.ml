@@ -20,6 +20,7 @@ type thread = {
   mutable resume : (unit -> unit) option;  (* pending continuation *)
   mutable joiners : int list;
   mutable quantum_used : int;
+  runbuf : Fastpath.buf;  (* per-thread coalescing slots (DESIGN.md §4g) *)
 }
 
 type port = {
@@ -31,6 +32,7 @@ type t = {
   engine : Engine.t;
   machine : Machine.t;
   memsys : Memsys.t;
+  coalesce : bool;  (* arm the effect-boundary fast path between suspends *)
   threads : (int, thread) Hashtbl.t;
   runqs : int Queue.t array;
   proc_active : bool array;  (* an event for this processor is in flight *)
@@ -45,12 +47,13 @@ type t = {
   mutable place_rr : int;
 }
 
-let create ~engine ~machine ~memsys =
+let create ?(coalesce = true) ~engine ~machine ~memsys () =
   let n = Machine.nprocs machine in
   {
     engine;
     machine;
     memsys;
+    coalesce = coalesce && memsys.Memsys.fastpath <> None;
     threads = Hashtbl.create 64;
     runqs = Array.init n (fun _ -> Queue.create ());
     proc_active = Array.make n false;
@@ -93,7 +96,17 @@ let make_thread t ~proc ~aspace body =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   let th =
-    { tid; body; aspace; proc; state = Runnable; resume = None; joiners = []; quantum_used = 0 }
+    {
+      tid;
+      body;
+      aspace;
+      proc;
+      state = Runnable;
+      resume = None;
+      joiners = [];
+      quantum_used = 0;
+      runbuf = Fastpath.make_buf ();
+    }
   in
   Hashtbl.replace t.threads tid th;
   t.live <- t.live + 1;
@@ -103,6 +116,29 @@ let make_thread t ~proc ~aspace body =
 (* ------------------------------------------------------------------ *)
 (* Scheduling core.                                                    *)
 (* ------------------------------------------------------------------ *)
+
+(* Arm the coalescing fast path for [th] just before control transfers
+   into its user code (DESIGN.md §4g).  While armed, [Api.read]/[write]/
+   [rmw] complete clean micro-ATC hits inline — no effect, no suspend —
+   accumulating their cost into one batched charge that [settle] applies
+   at the next real suspension.  Eligibility is re-checked per word; any
+   pending interrupt penalty keeps the whole window on the full path so
+   deferred shootdown-handler charges land exactly where the seed
+   schedule put them. *)
+let arm t th =
+  match t.memsys.Memsys.fastpath with
+  | Some ops when t.coalesce && Machine.pending_penalty t.machine ~proc:th.proc = 0 ->
+    (* An empty runq means preemption is impossible until some other
+       event makes it non-empty — and no event can fire mid-run, so the
+       run is unbounded by the quantum.  Otherwise the remaining quantum
+       caps the run just as the per-word path's boundary check would. *)
+    let quantum_left =
+      if Queue.is_empty t.runqs.(th.proc) then max_int
+      else (config t).Config.quantum_ns - th.quantum_used
+    in
+    Fastpath.arm (Fastpath.ctx ()) ops ~buf:th.runbuf ~base:(Engine.now t.engine)
+      ~proc:th.proc ~aspace:th.aspace ~quantum_left
+  | _ -> ()
 
 let rec dispatch t proc =
   match Queue.take_opt t.runqs.(proc) with
@@ -148,14 +184,13 @@ and finish_thread t th =
    pending interrupt penalty, extend the processor busy horizon, and
    resume — immediately for zero-cost operations, via the event queue
    otherwise.  Preemption happens only at operation boundaries. *)
-and complete : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> a -> int -> unit =
- fun t th k v lat ->
+and finish_op : t -> thread -> lat:int -> (unit -> unit) -> unit =
+ fun t th ~lat resume ->
   let now = Engine.now t.engine in
   let penalty = Machine.take_penalty t.machine ~proc:th.proc in
   let total = lat + penalty in
   Machine.set_proc_busy_until t.machine ~proc:th.proc (now + total);
   th.quantum_used <- th.quantum_used + total;
-  let resume () = Effect.Deep.continue k v in
   if
     th.quantum_used >= (config t).Config.quantum_ns
     && not (Queue.is_empty t.runqs.(th.proc))
@@ -168,6 +203,23 @@ and complete : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> a ->
   end
   else if total = 0 then resume ()
   else Engine.schedule_after t.engine ~delay:total resume
+
+and complete : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> a -> int -> unit =
+ fun t th k v lat ->
+  finish_op t th ~lat (fun () ->
+      arm t th;
+      Effect.Deep.continue k v)
+
+(* Close the coalescing window before handling a real suspension: if the
+   thread drained a run of inline hits since it was last armed, charge
+   the accumulated cost as one batched operation — exactly what a Block
+   descriptor covering the same words would pay — and only then perform
+   the pending kernel work, at engine time [base + acc].  An empty run
+   costs one branch and falls straight through. *)
+and settle : t -> thread -> (unit -> unit) -> unit =
+ fun t th pending ->
+  let acc = Fastpath.close (Fastpath.ctx ()) in
+  if acc = 0 then pending () else finish_op t th ~lat:acc pending
 
 (* Run an operation that may raise (a protection or address-space error,
    an unknown port, ...): the exception is delivered back into the
@@ -184,181 +236,233 @@ and run_op : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> (unit 
 and block : type a. t -> thread -> (a, unit) Effect.Deep.continuation -> a Lazy.t -> unit =
  fun t th k v ->
   th.state <- Blocked;
-  th.resume <- Some (fun () -> Effect.Deep.continue k (Lazy.force v));
+  th.resume <-
+    Some
+      (fun () ->
+        (* Force first: a failing waker must not leave a stale window. *)
+        let v = Lazy.force v in
+        arm t th;
+        Effect.Deep.continue k v);
   dispatch t th.proc
 
 and start_fiber t th =
   let open Effect.Deep in
+  arm t th;
   match_with th.body ()
     {
-      retc = (fun () -> finish_thread t th);
+      retc = (fun () -> settle t th (fun () -> finish_thread t th));
       exnc =
         (fun e ->
-          if t.failure = None then t.failure <- Some e;
-          finish_thread t th);
+          settle t th (fun () ->
+              if t.failure = None then t.failure <- Some e;
+              finish_thread t th));
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
           | Eff.Access_txn txn ->
-            (* The whole memory hot path: one trap, one backend submit. *)
+            (* The whole memory hot path: one trap, one backend submit —
+               reached only when the coalescer declined the access, so
+               [settle] first charges any drained run, then the submit
+               runs at the batched-charge horizon. *)
             Some
               (fun (k : (a, _) continuation) ->
-                run_op t th k (fun () ->
-                    t.memsys.Memsys.submit ~now:(Engine.now t.engine) ~proc:th.proc
-                      ~aspace:th.aspace txn))
-          | Eff.Compute ns -> Some (fun k -> complete t th k () (max ns 0))
+                settle t th (fun () ->
+                    run_op t th k (fun () ->
+                        t.memsys.Memsys.submit ~now:(Engine.now t.engine) ~proc:th.proc
+                          ~aspace:th.aspace txn)))
+          | Eff.Compute ns ->
+            Some (fun k -> settle t th (fun () -> complete t th k () (max ns 0)))
           | Eff.Yield ->
             Some
               (fun k ->
-                th.state <- Runnable;
-                th.resume <- Some (fun () -> continue k ());
-                Queue.add th.tid t.runqs.(th.proc);
-                dispatch t th.proc)
+                settle t th (fun () ->
+                    th.state <- Runnable;
+                    th.resume <-
+                      Some
+                        (fun () ->
+                          arm t th;
+                          continue k ());
+                    Queue.add th.tid t.runqs.(th.proc);
+                    dispatch t th.proc))
           | Eff.Spawn (body, hint, aspace_hint) ->
             Some
               (fun k ->
-                run_op t th k (fun () ->
-                    let proc = place t hint in
-                    let aspace = Option.value aspace_hint ~default:th.aspace in
-                    let child = make_thread t ~proc ~aspace body in
-                    wake_fresh ~src:th.proc t child;
-                    (child.tid, (config t).Config.thread_spawn_ns)))
+                settle t th (fun () ->
+                    run_op t th k (fun () ->
+                        let proc = place t hint in
+                        let aspace = Option.value aspace_hint ~default:th.aspace in
+                        let child = make_thread t ~proc ~aspace body in
+                        wake_fresh ~src:th.proc t child;
+                        (child.tid, (config t).Config.thread_spawn_ns))))
           | Eff.Join tid ->
             Some
               (fun k ->
-                match thread t tid with
-                | exception e -> Effect.Deep.discontinue k e
-                | target ->
-                  if target.state = Finished then complete t th k () 0
-                  else begin
-                    target.joiners <- th.tid :: target.joiners;
-                    block t th k (lazy ())
-                  end)
+                settle t th (fun () ->
+                    match thread t tid with
+                    | exception e -> Effect.Deep.discontinue k e
+                    | target ->
+                      if target.state = Finished then complete t th k () 0
+                      else begin
+                        target.joiners <- th.tid :: target.joiners;
+                        block t th k (lazy ())
+                      end))
           | Eff.Migrate proc ->
             Some
               (fun k ->
-                if proc < 0 || proc >= Machine.nprocs t.machine then
-                  Effect.Deep.discontinue k
-                    (Invalid_argument (Printf.sprintf "migrate: no processor %d" proc))
-                else begin
-                let from_proc = th.proc in
-                let lat =
-                  if proc = from_proc then 0
-                  else
-                    (config t).Config.thread_migrate_ns
-                    + t.memsys.Memsys.migrate_cost ~now:(Engine.now t.engine) ~from_proc
-                        ~to_proc:proc
-                in
-                (* The thread leaves this processor; resume it on the new
-                   one and let this one schedule other work. *)
-                th.state <- Runnable;
-                th.resume <- Some (fun () -> continue k ());
-                let old = from_proc in
-                th.proc <- proc;
-                  (* The migration itself is cross-node traffic: the thread
-                     (kernel stack and all) lands on [proc]'s queue. *)
-                  Engine.post t.engine ~src:old ~dst:proc ~delay:lat (fun () ->
-                      Queue.add th.tid t.runqs.(proc);
-                      if not t.proc_active.(proc) then begin
-                        t.proc_active.(proc) <- true;
-                        dispatch t proc
-                      end);
-                  dispatch t old
-                end)
-          | Eff.Self -> Some (fun k -> complete t th k th.tid 0)
-          | Eff.My_proc -> Some (fun k -> complete t th k th.proc 0)
-          | Eff.Now -> Some (fun k -> complete t th k (Engine.now t.engine) 0)
+                settle t th (fun () ->
+                    if proc < 0 || proc >= Machine.nprocs t.machine then
+                      Effect.Deep.discontinue k
+                        (Invalid_argument (Printf.sprintf "migrate: no processor %d" proc))
+                    else begin
+                      let from_proc = th.proc in
+                      let lat =
+                        if proc = from_proc then 0
+                        else
+                          (config t).Config.thread_migrate_ns
+                          + t.memsys.Memsys.migrate_cost ~now:(Engine.now t.engine) ~from_proc
+                              ~to_proc:proc
+                      in
+                      (* The thread leaves this processor; resume it on the new
+                         one and let this one schedule other work. *)
+                      th.state <- Runnable;
+                      th.resume <-
+                        Some
+                          (fun () ->
+                            arm t th;
+                            continue k ());
+                      let old = from_proc in
+                      th.proc <- proc;
+                      (* The migration itself is cross-node traffic: the thread
+                         (kernel stack and all) lands on [proc]'s queue. *)
+                      Engine.post t.engine ~src:old ~dst:proc ~delay:lat (fun () ->
+                          Queue.add th.tid t.runqs.(proc);
+                          if not t.proc_active.(proc) then begin
+                            t.proc_active.(proc) <- true;
+                            dispatch t proc
+                          end);
+                      dispatch t old
+                    end))
+          | Eff.Self -> Some (fun k -> settle t th (fun () -> complete t th k th.tid 0))
+          | Eff.My_proc -> Some (fun k -> settle t th (fun () -> complete t th k th.proc 0))
+          | Eff.Now ->
+            Some (fun k -> settle t th (fun () -> complete t th k (Engine.now t.engine) 0))
           | Eff.New_port ->
             Some
               (fun k ->
-                let pid = t.next_pid in
-                t.next_pid <- pid + 1;
-                Hashtbl.replace t.ports pid { messages = Queue.create (); waiters = Queue.create () };
-                complete t th k pid 0)
+                settle t th (fun () ->
+                    let pid = t.next_pid in
+                    t.next_pid <- pid + 1;
+                    Hashtbl.replace t.ports pid
+                      { messages = Queue.create (); waiters = Queue.create () };
+                    complete t th k pid 0))
           | Eff.Port_send (pid, msg) ->
             Some
               (fun k ->
-                match Hashtbl.find_opt t.ports pid with
-                | None ->
-                  Effect.Deep.discontinue k
-                    (Invalid_argument (Printf.sprintf "send: unknown port %d" pid))
-                | Some port ->
-                let cfg = config t in
-                let lat =
-                  cfg.Config.port_op_ns + (Array.length msg * cfg.Config.t_block_word)
-                in
-                Queue.add (Array.copy msg) port.messages;
-                (match Queue.take_opt port.waiters with
-                | Some tid -> wake ~src:th.proc t (thread t tid)
-                | None -> ());
-                complete t th k () lat)
+                settle t th (fun () ->
+                    match Hashtbl.find_opt t.ports pid with
+                    | None ->
+                      Effect.Deep.discontinue k
+                        (Invalid_argument (Printf.sprintf "send: unknown port %d" pid))
+                    | Some port ->
+                      let cfg = config t in
+                      let lat =
+                        cfg.Config.port_op_ns + (Array.length msg * cfg.Config.t_block_word)
+                      in
+                      Queue.add (Array.copy msg) port.messages;
+                      (match Queue.take_opt port.waiters with
+                      | Some tid -> wake ~src:th.proc t (thread t tid)
+                      | None -> ());
+                      complete t th k () lat))
           | Eff.Port_recv pid ->
             Some
               (fun k ->
-                match Hashtbl.find_opt t.ports pid with
-                | None ->
-                  Effect.Deep.discontinue k
-                    (Invalid_argument (Printf.sprintf "recv: unknown port %d" pid))
-                | Some port ->
-                let cfg = config t in
-                let take () =
-                  match Queue.take_opt port.messages with
-                  | Some m -> m
-                  | None -> failwith "Kernel: woken receiver found empty port"
-                in
-                if not (Queue.is_empty port.messages) then begin
-                  let m = take () in
-                  let lat = cfg.Config.port_op_ns + (Array.length m * cfg.Config.t_block_word) in
-                  complete t th k m lat
-                end
-                else begin
-                  Queue.add th.tid port.waiters;
-                  block t th k (lazy (take ()))
-                end)
+                settle t th (fun () ->
+                    match Hashtbl.find_opt t.ports pid with
+                    | None ->
+                      Effect.Deep.discontinue k
+                        (Invalid_argument (Printf.sprintf "recv: unknown port %d" pid))
+                    | Some port ->
+                      let cfg = config t in
+                      let take () =
+                        match Queue.take_opt port.messages with
+                        | Some m -> m
+                        | None -> failwith "Kernel: woken receiver found empty port"
+                      in
+                      if not (Queue.is_empty port.messages) then begin
+                        let m = take () in
+                        let lat =
+                          cfg.Config.port_op_ns + (Array.length m * cfg.Config.t_block_word)
+                        in
+                        complete t th k m lat
+                      end
+                      else begin
+                        Queue.add th.tid port.waiters;
+                        block t th k (lazy (take ()))
+                      end))
           | Eff.New_zone (name, pages) ->
             Some
               (fun k ->
-                run_op t th k (fun () ->
-                    (t.memsys.Memsys.new_zone ~aspace:th.aspace ~name ~pages, 0)))
+                settle t th (fun () ->
+                    run_op t th k (fun () ->
+                        (t.memsys.Memsys.new_zone ~aspace:th.aspace ~name ~pages, 0))))
           | Eff.Alloc (zone, words, page_aligned) ->
             Some
               (fun k ->
-                run_op t th k (fun () -> (t.memsys.Memsys.alloc ~zone ~words ~page_aligned, 0)))
+                settle t th (fun () ->
+                    run_op t th k (fun () ->
+                        (t.memsys.Memsys.alloc ~zone ~words ~page_aligned, 0))))
           | Eff.Alloc_pages (zone, pages) ->
-            Some (fun k -> run_op t th k (fun () -> (t.memsys.Memsys.alloc_pages ~zone ~pages, 0)))
-          | Eff.Page_words -> Some (fun k -> complete t th k t.memsys.Memsys.page_words 0)
+            Some
+              (fun k ->
+                settle t th (fun () ->
+                    run_op t th k (fun () -> (t.memsys.Memsys.alloc_pages ~zone ~pages, 0))))
+          | Eff.Page_words ->
+            Some (fun k -> settle t th (fun () -> complete t th k t.memsys.Memsys.page_words 0))
           | Eff.Advise (vaddr, len, advice) ->
             Some
               (fun k ->
-                run_op t th k (fun () ->
-                    ( (),
-                      t.memsys.Memsys.advise ~now:(Engine.now t.engine) ~proc:th.proc
-                        ~aspace:th.aspace ~vaddr ~len advice )))
-          | Eff.My_aspace -> Some (fun k -> complete t th k th.aspace 0)
+                settle t th (fun () ->
+                    run_op t th k (fun () ->
+                        ( (),
+                          t.memsys.Memsys.advise ~now:(Engine.now t.engine) ~proc:th.proc
+                            ~aspace:th.aspace ~vaddr ~len advice ))))
+          | Eff.My_aspace -> Some (fun k -> settle t th (fun () -> complete t th k th.aspace 0))
           | Eff.New_aspace ->
-            Some (fun k -> run_op t th k (fun () -> (t.memsys.Memsys.new_aspace (), 0)))
+            Some
+              (fun k ->
+                settle t th (fun () ->
+                    run_op t th k (fun () -> (t.memsys.Memsys.new_aspace (), 0))))
           | Eff.New_segment (name, pages) ->
             Some
-              (fun k -> run_op t th k (fun () -> (t.memsys.Memsys.new_segment ~name ~pages, 0)))
+              (fun k ->
+                settle t th (fun () ->
+                    run_op t th k (fun () -> (t.memsys.Memsys.new_segment ~name ~pages, 0))))
           | Eff.Map_segment segment ->
             Some
               (fun k ->
-                run_op t th k (fun () ->
-                    ( t.memsys.Memsys.map_segment ~aspace:th.aspace ~segment,
-                      (config t).Config.vm_fault_ns )))
+                settle t th (fun () ->
+                    run_op t th k (fun () ->
+                        ( t.memsys.Memsys.map_segment ~aspace:th.aspace ~segment,
+                          (config t).Config.vm_fault_ns ))))
           | Eff.Sleep ns ->
             Some
               (fun k ->
-                (* A timed wait: the thread blocks, the processor moves on,
-                   and a deferred engine event re-wakes it — timer plumbing
-                   rather than application work, so it never consumes a
-                   run [?limit] budget. *)
-                th.state <- Blocked;
-                th.resume <- Some (fun () -> continue k ());
-                Engine.schedule_after t.engine ~deferred:true ~delay:(max ns 0)
-                  (fun () -> wake t th);
-                dispatch t th.proc)
-          | Eff.Inject_handle -> Some (fun k -> complete t th k (Machine.inject t.machine) 0)
+                settle t th (fun () ->
+                    (* A timed wait: the thread blocks, the processor moves on,
+                       and a deferred engine event re-wakes it — timer plumbing
+                       rather than application work, so it never consumes a
+                       run [?limit] budget. *)
+                    th.state <- Blocked;
+                    th.resume <-
+                      Some
+                        (fun () ->
+                          arm t th;
+                          continue k ());
+                    Engine.schedule_after t.engine ~deferred:true ~delay:(max ns 0) (fun () ->
+                        wake t th);
+                    dispatch t th.proc))
+          | Eff.Inject_handle ->
+            Some (fun k -> settle t th (fun () -> complete t th k (Machine.inject t.machine) 0))
           | _ -> None)
     }
 

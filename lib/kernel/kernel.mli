@@ -21,10 +21,18 @@ exception Thread_failure of exn
 type t
 
 val create :
+  ?coalesce:bool ->
   engine:Platinum_sim.Engine.t ->
   machine:Platinum_machine.Machine.t ->
   memsys:Memsys.t ->
+  unit ->
   t
+(** [coalesce] (default [true]) arms the effect-boundary fast path
+    ({!Fastpath}, DESIGN.md §4g) whenever the backend provides
+    {!Memsys.t.fastpath} ops: consecutive per-word accesses that hit the
+    micro-ATC drain inline and are charged as one batched operation at the
+    next suspension.  [false] forces every access through the per-effect
+    path (the differential-testing baseline). *)
 
 val engine : t -> Platinum_sim.Engine.t
 val machine : t -> Platinum_machine.Machine.t

@@ -16,6 +16,9 @@ type t = {
   advise : now:int -> proc:int -> aspace:int -> vaddr:int -> len:int -> advice -> int;
   migrate_cost : now:int -> from_proc:int -> to_proc:int -> int;
   describe : unit -> string;
+  fastpath : Fastpath.ops option;
+      (* coalescing fast-path operations (DESIGN.md §4g); [None] = the
+         backend only supports the full-suspend path *)
 }
 
 (* Single-op conveniences over [submit], for tests and simple callers. *)

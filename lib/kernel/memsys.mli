@@ -42,6 +42,9 @@ type t = {
   migrate_cost : now:int -> from_proc:int -> to_proc:int -> int;
       (** cost of moving a thread's kernel stack (§2.2) *)
   describe : unit -> string;
+  fastpath : Fastpath.ops option;
+      (** coalescing fast-path operations (DESIGN.md §4g); [None] = the
+          backend only supports the full-suspend path *)
 }
 
 (** Single-operation conveniences over [submit]. *)

@@ -135,6 +135,50 @@ let memsys t =
       (Machine.modules (Coherent.machine coh))
       ~now ~src:from_proc ~dst:to_proc ~words:pw
   in
+  (* The coalescing fast-path ops (DESIGN.md §4g): page eligibility and
+     epoch come from the coherent layer, the injection gate from the
+     machine's fault plane.  [fp_probe] never raises — an out-of-range
+     aspace just declines. *)
+  let mach = Coherent.machine coh in
+  let fastpath =
+    Some
+      {
+        Fastpath.fp_epoch = (fun () -> Coherent.fp_epoch coh);
+        fp_page_words = pw;
+        fp_page_shift =
+          (if pw > 0 && pw land (pw - 1) = 0 then
+             let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+             log2 pw 0
+           else -1);
+        fp_probe =
+          (fun ~proc ~aspace ~vpage ~write ->
+            if aspace < 0 || aspace >= Array.length t.spaces then None
+            else
+              let sp = t.spaces.(aspace) in
+              if Coherent.fp_page_ok coh ~proc ~cmap:sp.cm ~vpage ~write then Some sp.cm
+              else None);
+        fp_inject_live =
+          (fun () ->
+            match Machine.inject mach with
+            | None -> false
+            | Some inj -> Platinum_sim.Inject.rate inj > 0.0);
+        fp_ok_now =
+          (fun () ->
+            match Machine.inject mach with
+            | None -> true
+            | Some inj -> not (Platinum_sim.Inject.peek_module_fault inj));
+        fp_read =
+          (fun ~now ~proc ~cmap ~vpage ~vaddr ->
+            Coherent.fp_read coh ~now ~proc ~cmap ~vpage ~vaddr);
+        fp_write =
+          (fun ~now ~proc ~cmap ~vpage ~vaddr ~value ->
+            Coherent.fp_write coh ~now ~proc ~cmap ~vpage ~vaddr value);
+        fp_rmw =
+          (fun ~now ~proc ~cmap ~vpage ~vaddr ~f ->
+            Coherent.fp_rmw coh ~now ~proc ~cmap ~vpage ~vaddr f);
+        fp_value = Coherent.fp_value_cell coh;
+      }
+  in
   {
     Memsys.page_words = pw;
     submit;
@@ -151,6 +195,7 @@ let memsys t =
       (fun () ->
         Printf.sprintf "platinum coherent memory (policy %s)"
           (Coherent.policy coh).Platinum_core.Policy.name);
+    fastpath;
   }
 
 let create coh root_aspace ?(default_zone_pages = 4096) () =

@@ -54,6 +54,8 @@ let take_penalty t ~proc =
   t.penalties.(proc) <- 0;
   p
 
+let pending_penalty t ~proc = t.penalties.(proc)
+
 let proc_busy_until t ~proc = t.busy.(proc)
 
 let set_proc_busy_until t ~proc until =

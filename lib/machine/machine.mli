@@ -42,6 +42,11 @@ val add_penalty : t -> proc:int -> int -> unit
 val take_penalty : t -> proc:int -> int
 (** Return and clear the accumulated penalty for a processor. *)
 
+val pending_penalty : t -> proc:int -> int
+(** The accumulated penalty, without clearing it.  The kernel's coalescing
+    fast path refuses to arm while a penalty is pending, so deferred
+    shootdown-handler charges always flow through the full-suspend path. *)
+
 (* --- processor busy horizon ---
 
    [proc_busy_until] is the earliest time the processor will next be able

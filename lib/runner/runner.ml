@@ -18,7 +18,8 @@ type setup = {
   kernel : Kernel.t;
 }
 
-let make ?config ?policy ?defrost ?(frames_per_module = 1024) ?default_zone_pages ?inject () =
+let make ?config ?policy ?defrost ?(frames_per_module = 1024) ?default_zone_pages ?inject
+    ?coalesce () =
   let config = match config with Some c -> c | None -> Config.butterfly_plus () in
   let policy =
     match policy with
@@ -35,7 +36,7 @@ let make ?config ?policy ?defrost ?(frames_per_module = 1024) ?default_zone_page
   let aspace = Addr_space.create coherent in
   let platsys = Platsys.create coherent aspace ?default_zone_pages () in
   let kernel =
-    Kernel.create ~engine ~machine ~memsys:(Platsys.memsys platsys)
+    Kernel.create ?coalesce ~engine ~machine ~memsys:(Platsys.memsys platsys) ()
   in
   Defrost.install ?mode:defrost coherent engine;
   { engine; machine; coherent; aspace; platsys; kernel }
@@ -53,9 +54,10 @@ let run setup ~main =
   | Error e -> failwith ("coherence invariant violated after run: " ^ e));
   { elapsed; report = Report.of_run setup.coherent ~elapsed; setup }
 
-let time ?config ?policy ?defrost ?frames_per_module ?default_zone_pages ?inject main =
+let time ?config ?policy ?defrost ?frames_per_module ?default_zone_pages ?inject ?coalesce
+    main =
   let setup =
-    make ?config ?policy ?defrost ?frames_per_module ?default_zone_pages ?inject ()
+    make ?config ?policy ?defrost ?frames_per_module ?default_zone_pages ?inject ?coalesce ()
   in
   run setup ~main
 
@@ -97,6 +99,6 @@ let time_uma ?(nprocs = 16) ?(params = Uma_sys.sequent) ?(page_words = 1024) mai
   let engine = Engine.create () in
   let machine = Machine.create config in
   let uma = Uma_sys.create ~machine ~params ~page_words in
-  let kernel = Kernel.create ~engine ~machine ~memsys:(Uma_sys.memsys uma) in
+  let kernel = Kernel.create ~engine ~machine ~memsys:(Uma_sys.memsys uma) () in
   let uma_elapsed = Kernel.run kernel ~main in
   { uma_elapsed; uma }

@@ -21,6 +21,7 @@ val make :
   ?frames_per_module:int ->
   ?default_zone_pages:int ->
   ?inject:Platinum_sim.Inject.config ->
+  ?coalesce:bool ->
   unit ->
   setup
 (** Defaults: 16-processor Butterfly Plus, the PLATINUM policy (with the
@@ -28,7 +29,9 @@ val make :
     default zone.  The defrost daemon is installed when the policy uses
     it.  [inject] attaches a fault-injection plane to the machine
     ({!Platinum_sim.Inject}); omitted, the hardware is fault-free as in
-    the paper. *)
+    the paper.  [coalesce] (default [true]) arms the kernel's
+    effect-boundary fast path (DESIGN.md §4g); [false] is the per-effect
+    differential baseline. *)
 
 type result = {
   elapsed : Platinum_sim.Time_ns.t;
@@ -48,6 +51,7 @@ val time :
   ?frames_per_module:int ->
   ?default_zone_pages:int ->
   ?inject:Platinum_sim.Inject.config ->
+  ?coalesce:bool ->
   (unit -> unit) ->
   result
 (** [make] + [run] in one step. *)

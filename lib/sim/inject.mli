@@ -64,6 +64,13 @@ val module_fault : t -> [ `None | `Stall of int | `Outage of int ]
     adds [n] ns of service; [`Outage n] takes the module down for [n] ns
     (everything queued behind it waits). *)
 
+val peek_module_fault : t -> bool
+(** Whether the next {!module_fault} will inject — replayed on a copy of
+    the stream, consuming nothing and touching no stats.  The kernel's
+    coalescing fast path asks this before completing a word inline: a
+    pending fault forces the full-suspend path so the injected event (and
+    its recovery) lands exactly where the seed schedule put it. *)
+
 val ipi_fault : t -> attempt:int -> [ `Deliver | `Delay of int | `Drop ]
 (** Asked once per shootdown IPI send attempt.  Never answers [`Drop] when
     [attempt] is the last one ([max_ipi_retries]): the adversary is

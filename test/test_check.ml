@@ -390,6 +390,19 @@ let test_lint_allows_functions_and_values () =
   Alcotest.(check (list string)) "only the retained ref" [ "indented_is_local:ref" ]
     (List.map (fun f -> f.Lint.name ^ ":" ^ f.Lint.construct) findings)
 
+let test_lint_flags_dls_key () =
+  (* Domain.DLS keys are per-domain containers — sanctioned only with an
+     explicit marker (the coalescing fast path's context is the one
+     legitimate use, lib/kernel/fastpath.ml). *)
+  let findings = lint_src "let key = Domain.DLS.new_key (fun () -> make_ctx ())\n" in
+  Alcotest.(check (list string)) "DLS key flagged as violation"
+    [ "key:Domain.DLS.new_key:VIOLATION" ]
+    (List.map
+       (fun f ->
+         f.Lint.name ^ ":" ^ f.Lint.construct ^ ":"
+         ^ Option.value ~default:"VIOLATION" f.Lint.allowed)
+       findings)
+
 let test_lint_allows_atomic_and_marker () =
   let findings =
     lint_src
@@ -466,6 +479,7 @@ let suite =
     ("lint: flags toplevel mutable state", `Quick, test_lint_flags_toplevel_refs);
     ("lint: functions and plain values pass", `Quick, test_lint_allows_functions_and_values);
     ("lint: Atomic and marker allowed", `Quick, test_lint_allows_atomic_and_marker);
+    ("lint: Domain.DLS keys flagged", `Quick, test_lint_flags_dls_key);
     ("lint: comments and strings ignored", `Quick, test_lint_ignores_comments_and_strings);
     ("lint: strip preserves line structure", `Quick, test_lint_strip_preserves_lines);
     ("lint: the library tree is clean", `Quick, test_lint_repo_is_clean);

@@ -9,6 +9,7 @@ let () =
       ("check", Test_check.suite);
       ("vm", Test_vm.suite);
       ("kernel", Test_kernel.suite);
+      ("fastpath", Test_fastpath.suite);
       ("cache", Test_cache.suite);
       ("analysis", Test_analysis.suite);
       ("micro", Test_micro.suite);
