@@ -47,14 +47,17 @@ let constructs =
     "Weak.create";
     "Dynarray.create";
     "Domain.DLS.new_key";
+    "Float.Array.create";
     "lazy";
     (* copies/conversions allocate fresh mutable containers too *)
     "Array.copy";
     "Array.of_list";
+    "Array.append";
     "Bytes.copy";
     "Bytes.of_string";
     "Hashtbl.copy";
     "Hashtbl.of_seq";
+    "Hashtbl.of_list";
     "Queue.copy";
   ]
 

@@ -35,6 +35,9 @@ val scan_source : file:string -> string -> finding list
     allowed ones included (callers decide the exit code on the
     [allowed = None] subset). *)
 
+val read_file : string -> string
+(** Whole-file read (shared with the typed-AST pass in {!Ast_lint}). *)
+
 val files_under : string -> string list
 (** All [.ml] files under a path, recursively; skips [_build] and
     dot-directories. *)

@@ -1,0 +1,92 @@
+(* toplevel-state: the textual domain-safety rule ({!Lint}) re-hosted on
+   the typed AST.
+
+   Same invariant — library code runs on parallel domains (grid sweeps
+   and the sharded engine), so a mutable container created at module
+   toplevel is shared, unsynchronized, across domains — but checked on
+   the [Parsetree] instead of stripped text: no column-0 assumption, no
+   formatting sensitivity, and nested [module] structures are scanned
+   too (the textual pass only sees column-0 bindings).  The construct
+   catalogue is shared with {!Lint.constructs} so the two passes cannot
+   drift; the textual pass stays as a fallback oracle with a superset
+   test tying them together.
+
+   As in the textual rule, bindings whose right-hand side is a function
+   are skipped (they allocate per call), [Atomic.make] is reported as
+   allowed, and a [lint: allow toplevel-state] marker waives a finding.
+   Functor bodies are skipped for the same reason function bodies of
+   value bindings are not: their allocations happen per application. *)
+
+open Ast_lint
+
+let rule_id = "toplevel-state"
+
+(* Dotted constructors from the shared catalogue; [ref] and [lazy] have
+   their own AST shapes. *)
+let dotted = List.filter (fun c -> c <> "ref" && c <> "lazy") Lint.constructs
+
+let scan_binding u ~name (rhs : Parsetree.expression) acc =
+  let out = ref acc in
+  let add ?allowed (e : Parsetree.expression) construct =
+    out :=
+      finding ?allowed u ~rule:rule_id ~line:e.pexp_loc.loc_start.pos_lnum ~name ~construct
+        ~detail:(Printf.sprintf "toplevel mutable state: [%s] binds %s" name construct)
+      :: !out
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_lazy _ -> add e "lazy"
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+            let f = flatten txt in
+            if f = "Atomic.make" then add ~allowed:"Atomic" e "Atomic.make"
+            else if f = "ref" then add e "ref"
+            else if List.mem f dotted then add e f
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it rhs;
+  !out
+
+let rec scan_structure u (str : Parsetree.structure) acc =
+  List.fold_left
+    (fun acc (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.fold_left
+          (fun acc (vb : Parsetree.value_binding) ->
+            if is_function vb.pvb_expr then acc
+            else
+              let name =
+                match binding_name vb.pvb_pat with Some n -> n | None -> "<pattern>"
+              in
+              scan_binding u ~name vb.pvb_expr acc)
+          acc vbs
+      | Pstr_module mb -> scan_module_expr u mb.pmb_expr acc
+      | Pstr_recmodule mbs ->
+        List.fold_left (fun acc (mb : Parsetree.module_binding) -> scan_module_expr u mb.pmb_expr acc) acc mbs
+      | Pstr_include incl -> scan_module_expr u incl.pincl_mod acc
+      | _ -> acc)
+    acc str
+
+and scan_module_expr u (me : Parsetree.module_expr) acc =
+  match me.pmod_desc with
+  | Pmod_structure str -> scan_structure u str acc
+  | Pmod_constraint (me, _) -> scan_module_expr u me acc
+  | Pmod_functor _ -> acc (* per-application, like a function body *)
+  | _ -> acc
+
+let run units = List.concat_map (fun u -> List.rev (scan_structure u u.u_ast [])) units
+
+let rule =
+  {
+    rule_id;
+    rule_doc =
+      "toplevel mutable state in library code must be Atomic or carry an \
+       explicit allow marker (domains share it unsynchronized)";
+    run;
+  }

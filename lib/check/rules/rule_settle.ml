@@ -1,0 +1,198 @@
+(* settle-coverage: every kernel handler arm that resumes a fiber goes
+   through [settle], and every [Eff.t] constructor is handled.
+
+   [settle] is the single point where the kernel closes a coalesced run
+   (DESIGN.md §4g): it drains the armed fast-path context and charges the
+   accumulated latency before the fiber's continuation does anything
+   else.  An effect arm that resumes directly — [complete]/[continue]
+   without the [settle] wrapper — silently drops the in-flight charge and
+   leaves the context armed across a suspension, corrupting the next
+   fiber's accounting.  The rule finds the [match_with] handler record in
+   [kernel.ml] and checks its three fields: [retc] and [exnc] must
+   mention [settle] in their bodies, and every [Some (fun k -> ...)]
+   returned by an [effc] arm must too.  Arms returning [None] (the
+   forwarding fallback) are fine — the effect is handled, and settled, by
+   an outer handler.
+
+   The second half is exhaustiveness: [Eff.t] is an open type
+   ([type _ Effect.t +=]), so the compiler cannot warn when a new effect
+   misses its arm — it just forwards to no outer handler and kills the
+   fiber at runtime.  The rule collects every extension constructor
+   declared in [eff.ml] and requires a same-named pattern in the [effc]
+   match. *)
+
+open Ast_lint
+
+let rule_id = "settle-coverage"
+
+(* --- constructor inventory from eff.ml --- *)
+
+let eff_constructors units =
+  match List.find_opt (fun u -> u.u_base = "eff.ml") units with
+  | None -> []
+  | Some u ->
+    List.concat_map
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_typext te when last te.ptyext_path.txt = "t" ->
+          List.filter_map
+            (fun (ec : Parsetree.extension_constructor) ->
+              match ec.pext_kind with
+              | Pext_decl (_, _, _) -> Some ec.pext_name.txt
+              | Pext_rebind _ -> None)
+            te.ptyext_constructors
+        | _ -> [])
+      u.u_ast
+
+(* --- handler-record discovery --- *)
+
+(* Constructor names a case pattern matches (through aliases, constraints
+   and or-patterns); [] for wildcards and variables. *)
+let rec pattern_constructors (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, _) -> [ last txt ]
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) -> pattern_constructors p
+  | Ppat_or (a, b) -> pattern_constructors a @ pattern_constructors b
+  | _ -> []
+
+(* Is this expression [Some e] — an arm that takes the effect?  Returns
+   the payload, the resuming body that must settle. *)
+let some_payload (e : Parsetree.expression) =
+  match (peel_params e).pexp_desc with
+  | Pexp_construct ({ txt; _ }, Some payload) when last txt = "Some" -> Some payload
+  | _ -> None
+
+let is_none (e : Parsetree.expression) =
+  match (peel_params e).pexp_desc with
+  | Pexp_construct ({ txt; _ }, None) when last txt = "None" -> true
+  | _ -> false
+
+type handler = {
+  h_retc : (int * Parsetree.expression) option;
+  h_exnc : (int * Parsetree.expression) option;
+  h_effc : (int * Parsetree.expression) option;
+}
+
+(* The first record carrying retc/exnc/effc fields — the deep-handler
+   argument of [match_with] in [start_fiber]. *)
+let find_handler (u : unit_) =
+  let found = ref None in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_record (fields, None) when !found = None ->
+            let get name =
+              List.find_map
+                (fun (({ txt; _ } : Longident.t Asttypes.loc), (v : Parsetree.expression)) ->
+                  if last txt = name then Some (v.pexp_loc.loc_start.pos_lnum, v) else None)
+                fields
+            in
+            let h = { h_retc = get "retc"; h_exnc = get "exnc"; h_effc = get "effc" } in
+            if h.h_retc <> None && h.h_effc <> None then found := Some h
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  List.iter (it.structure_item it) u.u_ast;
+  !found
+
+(* --- the rule --- *)
+
+let check_field u name slot acc =
+  match slot with
+  | None ->
+    finding u ~rule:rule_id ~line:1 ~name ~construct:"missing field"
+      ~detail:(Printf.sprintf "handler record has no %s field" name)
+    :: acc
+  | Some (line, e) ->
+    if mentions_ident "settle" (peel_params e) then acc
+    else
+      finding u ~rule:rule_id ~line ~name ~construct:"unsettled resume"
+        ~detail:(name ^ " resumes without going through settle")
+      :: acc
+
+let check_effc u slot acc =
+  match slot with
+  | None -> (acc, [])
+  | Some (_line, e) -> (
+    match (peel_params e).pexp_desc with
+    | Pexp_match (_, cases) ->
+      List.fold_left
+        (fun (acc, handled) (case : Parsetree.case) ->
+          let ctors = pattern_constructors case.pc_lhs in
+          let handled = ctors @ handled in
+          let line = case.pc_lhs.ppat_loc.loc_start.pos_lnum in
+          let name = match ctors with [] -> "_" | c :: _ -> c in
+          match some_payload case.pc_rhs with
+          | Some payload ->
+            if mentions_ident "settle" payload then (acc, handled)
+            else
+              ( finding u ~rule:rule_id ~line ~name ~construct:"unsettled resume"
+                  ~detail:
+                    (Printf.sprintf
+                       "effc arm %s resumes without going through settle" name)
+                :: acc,
+                handled )
+          | None ->
+            if is_none case.pc_rhs || ctors = [] then (acc, handled)
+            else
+              ( finding u ~rule:rule_id ~line ~name ~construct:"opaque arm"
+                  ~detail:
+                    (Printf.sprintf
+                       "effc arm %s is neither Some (fun k -> ... settle ...) nor None"
+                       name)
+                :: acc,
+                handled ))
+        (acc, []) cases
+    | _ ->
+      ( finding u ~rule:rule_id ~line:_line ~name:"effc" ~construct:"opaque effc"
+          ~detail:"effc body is not a direct match on the effect"
+        :: acc,
+        [] ))
+
+let run units =
+  match List.find_opt (fun u -> u.u_base = "kernel.ml") units with
+  | None -> []
+  | Some u -> (
+    match find_handler u with
+    | None ->
+      [
+        finding u ~rule:rule_id ~line:1 ~name:"kernel.ml" ~construct:"no handler"
+          ~detail:"no match_with handler record (retc/exnc/effc) found";
+      ]
+    | Some h ->
+      let acc = [] in
+      let acc = check_field u "retc" h.h_retc acc in
+      let acc = check_field u "exnc" h.h_exnc acc in
+      let acc, handled = check_effc u h.h_effc acc in
+      let eff_line, missing =
+        match h.h_effc with
+        | Some (line, _) ->
+          (line, List.filter (fun c -> not (List.mem c handled)) (eff_constructors units))
+        | None -> (1, [])
+      in
+      let acc =
+        if h.h_effc = None then
+          finding u ~rule:rule_id ~line:1 ~name:"effc" ~construct:"missing field"
+            ~detail:"handler record has no effc field"
+          :: acc
+        else acc
+      in
+      List.fold_left
+        (fun acc c ->
+          finding u ~rule:rule_id ~line:eff_line ~name:c ~construct:"unhandled constructor"
+            ~detail:(Printf.sprintf "Eff.t constructor %s has no effc arm" c)
+          :: acc)
+        acc missing)
+
+let rule =
+  {
+    rule_id;
+    rule_doc =
+      "every kernel handler arm that resumes a fiber goes through settle, and \
+       every Eff.t constructor has an arm";
+    run;
+  }

@@ -96,19 +96,20 @@ let local_copy t m =
   if m >= 0 && m < Array.length t.slots then Array.unsafe_get t.slots m else None
 
 (* The most recently added copy: what the head of the old cons list was.
-   A manual scan (no closure, no allocation) — this sits on the cachability
-   test of the read hit path. *)
+   A top-level tail recursion over the slot index (no closure, no ref
+   cells, no allocation) — this sits on the cachability test of the read
+   hit path and the zero-alloc lint holds it there. *)
+let rec best_slot seq m best best_seq =
+  if m >= Array.length seq then best
+  else if Array.unsafe_get seq m > best_seq then
+    best_slot seq (m + 1) m (Array.unsafe_get seq m)
+  else best_slot seq (m + 1) best best_seq
+
 let any_copy t =
   if t.ncopies = 0 then invalid_arg "Cpage.any_copy: empty page";
-  let best = ref (-1) in
-  let best_seq = ref (-1) in
-  for m = 0 to Array.length t.slot_seq - 1 do
-    if Array.unsafe_get t.slot_seq m > !best_seq then begin
-      best := m;
-      best_seq := Array.unsafe_get t.slot_seq m
-    end
-  done;
-  match t.slots.(!best) with Some f -> f | None -> assert false
+  match t.slots.(best_slot t.slot_seq 0 (-1) (-1)) with
+  | Some f -> f
+  | None -> assert false
 
 let mem_frame t frame =
   let m = Frame.mem_module frame in

@@ -64,6 +64,10 @@ let restrict t ~vpage =
     if vpage >= 0 && vpage < Array.length t.packed then
       t.packed.(vpage) <- t.packed.(vpage) land lnot 2
 
+(* lint: allow epoch-soundness — teardown entry point with no in-library
+   callers (tests reset a processor's map wholesale); dropping
+   translations can only turn fast-path hits into faults on the full
+   path, never admit a stale hit, so no epoch bump is needed. *)
 let clear t =
   Flat.clear t.entries;
   Array.fill t.packed 0 (Array.length t.packed) 0

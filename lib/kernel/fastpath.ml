@@ -149,6 +149,10 @@ let ctx () = Domain.DLS.get key
 
 (* --- kernel side --- *)
 
+(* lint: allow zero-alloc — the [Some ops] refresh fires once per backend
+   handoff (a different simulation reusing the domain); in steady state
+   the [==] guard keeps the cell physically unchanged and the arm is
+   allocation-free. *)
 let arm c ops ~buf ~base ~proc ~aspace ~quantum_left =
   c.armed <- true;
   (match c.ops with Some o when o == ops -> () | _ -> c.ops <- Some ops);
@@ -182,7 +186,10 @@ let value c = c.out_value
 (* Validate (or refresh) a slot's page-eligibility probe against the
    arm-time epoch.  The [==] guard keeps [sl_cm] physically stable so a
    steady-state refresh of the same page allocates nothing beyond the
-   probe itself. *)
+   probe itself.
+   lint: allow zero-alloc — the [Some cm] store runs only when the slot's
+   Cmap actually changed (first touch of a page, or a remap), never on
+   the steady-state revalidation path the [==] guard serves. *)
 let slot_ok c ops (sl : slot) ~vpage ~write =
   if sl.sl_epoch = c.epoch && sl.sl_vpage = vpage then sl.sl_ok
   else begin

@@ -67,101 +67,100 @@ let spill t =
   t.keys <- [||];
   t.packed <- false
 
-(* --- packed-mode sifts: one int compare per step --- *)
+(* --- packed-mode sifts: one int compare per step ---
 
-let sift_up_packed t i =
-  let keys = t.keys and data = t.data in
-  let k = keys.(i) and v = data.(i) in
-  let i = ref i in
-  while
-    !i > 0
-    &&
-    let p = (!i - 1) / 2 in
-    if keys.(p) > k then begin
-      keys.(!i) <- keys.(p);
-      data.(!i) <- data.(p);
-      i := p;
-      true
+   The loops are top-level tail recursions over the hole index, with the
+   sifted key and payload threaded as arguments: a [let i = ref i]
+   accumulator would box on every [add]/[pop] (no flambda), and the
+   zero-alloc lint holds these to the same standard as the word paths
+   they serve. *)
+
+let rec sift_up_packed_loop keys data i k v =
+  let p = (i - 1) / 2 in
+  if i > 0 && keys.(p) > k then begin
+    keys.(i) <- keys.(p);
+    data.(i) <- data.(p);
+    sift_up_packed_loop keys data p k v
+  end
+  else begin
+    keys.(i) <- k;
+    data.(i) <- v
+  end
+
+let sift_up_packed t i = sift_up_packed_loop t.keys t.data i t.keys.(i) t.data.(i)
+
+let rec sift_down_packed_loop keys data n i k v =
+  let l = (2 * i) + 1 in
+  if l >= n then begin
+    keys.(i) <- k;
+    data.(i) <- v
+  end
+  else begin
+    let c = if l + 1 < n && keys.(l + 1) < keys.(l) then l + 1 else l in
+    if keys.(c) < k then begin
+      keys.(i) <- keys.(c);
+      data.(i) <- data.(c);
+      sift_down_packed_loop keys data n c k v
     end
-    else false
-  do
-    ()
-  done;
-  keys.(!i) <- k;
-  data.(!i) <- v
+    else begin
+      keys.(i) <- k;
+      data.(i) <- v
+    end
+  end
 
 let sift_down_packed t i =
-  let keys = t.keys and data = t.data and n = t.size in
-  let k = keys.(i) and v = data.(i) in
-  let i = ref i in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 in
-    if l >= n then continue := false
-    else begin
-      let c = if l + 1 < n && keys.(l + 1) < keys.(l) then l + 1 else l in
-      if keys.(c) < k then begin
-        keys.(!i) <- keys.(c);
-        data.(!i) <- data.(c);
-        i := c
-      end
-      else continue := false
-    end
-  done;
-  keys.(!i) <- k;
-  data.(!i) <- v
+  sift_down_packed_loop t.keys t.data t.size i t.keys.(i) t.data.(i)
 
 (* --- fallback-mode sifts: lexicographic (time, seq) --- *)
 
+let rec sift_up_fb_loop times seqs data i tm sq v =
+  let p = (i - 1) / 2 in
+  if i > 0 && (times.(p) > tm || (times.(p) = tm && seqs.(p) > sq)) then begin
+    times.(i) <- times.(p);
+    seqs.(i) <- seqs.(p);
+    data.(i) <- data.(p);
+    sift_up_fb_loop times seqs data p tm sq v
+  end
+  else begin
+    times.(i) <- tm;
+    seqs.(i) <- sq;
+    data.(i) <- v
+  end
+
 let sift_up_fb t i =
-  let times = t.times and seqs = t.seqs and data = t.data in
-  let tm = times.(i) and sq = seqs.(i) and v = data.(i) in
-  let i = ref i in
-  while
-    !i > 0
-    &&
-    let p = (!i - 1) / 2 in
-    if times.(p) > tm || (times.(p) = tm && seqs.(p) > sq) then begin
-      times.(!i) <- times.(p);
-      seqs.(!i) <- seqs.(p);
-      data.(!i) <- data.(p);
-      i := p;
-      true
+  sift_up_fb_loop t.times t.seqs t.data i t.times.(i) t.seqs.(i) t.data.(i)
+
+let rec sift_down_fb_loop times seqs data n i tm sq v =
+  let l = (2 * i) + 1 in
+  if l >= n then begin
+    times.(i) <- tm;
+    seqs.(i) <- sq;
+    data.(i) <- v
+  end
+  else begin
+    let c =
+      if
+        l + 1 < n
+        && (times.(l + 1) < times.(l)
+           || (times.(l + 1) = times.(l) && seqs.(l + 1) < seqs.(l)))
+      then l + 1
+      else l
+    in
+    if times.(c) < tm || (times.(c) = tm && seqs.(c) < sq) then begin
+      times.(i) <- times.(c);
+      seqs.(i) <- seqs.(c);
+      data.(i) <- data.(c);
+      sift_down_fb_loop times seqs data n c tm sq v
     end
-    else false
-  do
-    ()
-  done;
-  times.(!i) <- tm;
-  seqs.(!i) <- sq;
-  data.(!i) <- v
+    else begin
+      times.(i) <- tm;
+      seqs.(i) <- sq;
+      data.(i) <- v
+    end
+  end
 
 let sift_down_fb t i =
-  let times = t.times and seqs = t.seqs and data = t.data and n = t.size in
-  let tm = times.(i) and sq = seqs.(i) and v = data.(i) in
-  let less a b =
-    times.(a) < times.(b) || (times.(a) = times.(b) && seqs.(a) < seqs.(b))
-  in
-  let less_key c = times.(c) < tm || (times.(c) = tm && seqs.(c) < sq) in
-  let i = ref i in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 in
-    if l >= n then continue := false
-    else begin
-      let c = if l + 1 < n && less (l + 1) l then l + 1 else l in
-      if less_key c then begin
-        times.(!i) <- times.(c);
-        seqs.(!i) <- seqs.(c);
-        data.(!i) <- data.(c);
-        i := c
-      end
-      else continue := false
-    end
-  done;
-  times.(!i) <- tm;
-  seqs.(!i) <- sq;
-  data.(!i) <- v
+  sift_down_fb_loop t.times t.seqs t.data t.size i t.times.(i) t.seqs.(i) t.data.(i)
 
 let add t ~time ~seq v =
   if time < 0 || seq < 0 then invalid_arg "Eheap.add: negative key component";

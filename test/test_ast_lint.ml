@@ -1,0 +1,406 @@
+(* The typed-AST analysis framework (PR 8): per-rule fixtures, the
+   marker mechanism, the seeded-mutation must-catch gate, and the
+   lib-clean acceptance gate. *)
+
+module Ast_lint = Platinum_check.Ast_lint
+module Registry = Platinum_check.Registry
+module Rule_epoch = Platinum_check.Rule_epoch
+module Rule_settle = Platinum_check.Rule_settle
+module Rule_alloc = Platinum_check.Rule_alloc
+module Rule_domain = Platinum_check.Rule_domain
+module Lint = Platinum_check.Lint
+
+let unit_ ~file src = Ast_lint.unit_of_source ~file src
+
+(* findings rendered as "name:construct" / "name:allowed" strings, the
+   same convention the textual-lint tests use *)
+let tags fs =
+  List.map (fun (f : Ast_lint.finding) -> f.name ^ ":" ^ f.construct) (List.sort Ast_lint.compare_findings fs)
+
+let verdicts fs =
+  List.map
+    (fun (f : Ast_lint.finding) -> f.name ^ ":" ^ Option.value ~default:"VIOLATION" f.allowed)
+    (List.sort Ast_lint.compare_findings fs)
+
+(* --- framework --- *)
+
+let test_parse_error () =
+  match unit_ ~file:"broken.ml" "let x = (\n" with
+  | exception Ast_lint.Parse_error msg ->
+    Alcotest.(check bool) "message names the file" true
+      (String.length msg >= 9 && String.sub msg 0 9 = "broken.ml")
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_marker_scope () =
+  let u =
+    unit_ ~file:"m.ml"
+      "(* lint: allow some-rule -- close enough *)\n\
+       let near = 1\n\
+       \n\n\n\n\n\n\n\n\
+       let far = 2\n"
+  in
+  Alcotest.(check bool) "marker covers the adjacent binding" true
+    (Ast_lint.marker_allows u ~rule:"some-rule" ~line:2);
+  Alcotest.(check bool) "other rules unaffected" false
+    (Ast_lint.marker_allows u ~rule:"other-rule" ~line:2);
+  Alcotest.(check bool) "marker does not reach a distant binding" false
+    (Ast_lint.marker_allows u ~rule:"some-rule" ~line:11)
+
+let test_surgery () =
+  let src = "aaa needle bbb needle ccc" in
+  (match Ast_lint.excise ~anchor:"bbb" ~needle:"needle" src with
+  | Ok s -> Alcotest.(check string) "second occurrence excised" "aaa needle bbb  ccc" s
+  | Error e -> Alcotest.fail e);
+  (match Ast_lint.replace ~anchor:"aaa" ~needle:"needle" ~repl:"patch" src with
+  | Ok s -> Alcotest.(check string) "first occurrence replaced" "aaa patch bbb needle ccc" s
+  | Error e -> Alcotest.fail e);
+  (match Ast_lint.excise ~anchor:"zzz" ~needle:"needle" src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing anchor must be loud");
+  match Ast_lint.excise ~anchor:"ccc" ~needle:"needle" src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "needle after anchor only"
+
+(* --- epoch-soundness --- *)
+
+let epoch src = Rule_epoch.rule.Ast_lint.run [ unit_ ~file:"coherent.ml" src ]
+
+let test_epoch_direct_and_uncovered () =
+  let fs =
+    epoch
+      "let fp_bump t = t.fp_epoch <- t.fp_epoch + 1\n\
+       let good t = fp_bump t; t.frozen <- true\n\
+       let bad t = t.frozen <- false\n"
+  in
+  Alcotest.(check (list string)) "only the bump-less mutator"
+    [ "Coherent.bad:field frozen <-" ] (tags fs)
+
+let test_epoch_caller_coverage () =
+  (* [helper] never bumps, but its only callers do: every entry path is
+     bracketed.  [orphan] has no in-library callers at all. *)
+  let fs =
+    epoch
+      "let fp_bump t = t.fp_epoch <- t.fp_epoch + 1\n\
+       let helper t = t.frozen <- true\n\
+       let caller1 t = fp_bump t; helper t\n\
+       let caller2 t = fp_bump t; helper t\n\
+       let orphan t = t.frozen <- false\n"
+  in
+  Alcotest.(check (list string)) "helper covered, orphan not"
+    [ "Coherent.orphan:field frozen <-" ] (tags fs)
+
+let test_epoch_uncovered_caller_breaks_coverage () =
+  (* one bump-less public caller poisons the callee's coverage *)
+  let fs =
+    epoch
+      "let fp_bump t = t.fp_epoch <- t.fp_epoch + 1\n\
+       let helper t = t.frozen <- true\n\
+       let covered t = fp_bump t; helper t\n\
+       let public t = helper t\n"
+  in
+  Alcotest.(check (list string)) "helper uncovered via public"
+    [ "Coherent.helper:field frozen <-" ] (tags fs)
+
+let test_epoch_marker_allows_and_propagates () =
+  let fs =
+    epoch
+      "let helper t = t.frozen <- true\n\
+       (* lint: allow epoch-soundness -- teardown only *)\n\
+       let teardown t = helper t; t.frozen <- false\n"
+  in
+  (* the marked teardown is reported-as-allowed; the helper it solely
+     calls is covered by the marked caller and not reported at all *)
+  Alcotest.(check (list string)) "marked mutator visible, helper silent"
+    [ "Coherent.teardown:marker" ] (verdicts fs)
+
+let test_epoch_excluded_fields_and_flat () =
+  let fs =
+    epoch
+      "let stats t = t.s_latency <- 0; t.queue_len <- t.queue_len + 1\n\
+       let table t v = Flat.set t.entries 3 v\n"
+  in
+  Alcotest.(check (list string)) "scratch excluded, Flat.set caught"
+    [ "Coherent.table:Flat.set" ] (tags fs)
+
+let test_epoch_array_on_state_field () =
+  let fs = epoch "let touch t p = t.active_aspace.(p) <- 7\n" in
+  Alcotest.(check (list string)) "array store on a state field"
+    [ "Coherent.touch:Array.set on field active_aspace" ] (tags fs)
+
+(* --- settle-coverage --- *)
+
+let eff_fixture =
+  "type _ Effect.t += A : unit Effect.t | B : int -> unit Effect.t\n"
+
+let settle kernel_src =
+  Rule_settle.rule.Ast_lint.run
+    [ unit_ ~file:"eff.ml" eff_fixture; unit_ ~file:"kernel.ml" kernel_src ]
+
+let kernel_fixture ?b_arm ~a_arm () =
+  let b_arm =
+    match b_arm with
+    | Some b -> b
+    | None -> "Some (fun k -> settle t th (fun () -> resume k n))"
+  in
+  String.concat "\n"
+    [
+      "let handle t th body =";
+      "  Effect.Deep.match_with body ()";
+      "    {";
+      "      retc = (fun v -> settle t th (fun () -> v));";
+      "      exnc = (fun e -> settle t th (fun () -> raise e));";
+      "      effc =";
+      "        (fun (type a) (eff : a Effect.t) ->";
+      "          match eff with";
+      "          | A -> " ^ a_arm;
+      "          | B n -> " ^ b_arm;
+      "          | _ -> None);";
+      "    }";
+      "";
+    ]
+
+let test_settle_clean () =
+  let fs = settle (kernel_fixture ~a_arm:"Some (fun k -> settle t th (fun () -> k ()))" ()) in
+  Alcotest.(check (list string)) "clean handler" [] (tags fs)
+
+let test_settle_unwrapped_arm () =
+  let fs = settle (kernel_fixture ~a_arm:"Some (fun k -> k ())" ()) in
+  Alcotest.(check (list string)) "direct resume flagged" [ "A:unsettled resume" ] (tags fs)
+
+let test_settle_missing_constructor () =
+  let fs =
+    settle
+      (String.concat "\n"
+         [
+           "let handle t th body =";
+           "  Effect.Deep.match_with body ()";
+           "    {";
+           "      retc = (fun v -> settle t th (fun () -> v));";
+           "      exnc = (fun e -> settle t th (fun () -> raise e));";
+           "      effc =";
+           "        (fun (type a) (eff : a Effect.t) ->";
+           "          match eff with";
+           "          | A -> Some (fun k -> settle t th (fun () -> k ()))";
+           "          | _ -> None);";
+           "    }";
+           "";
+         ])
+  in
+  Alcotest.(check (list string)) "B has no arm" [ "B:unhandled constructor" ] (tags fs)
+
+let test_settle_unsettled_retc () =
+  let src =
+    String.concat "\n"
+      [
+        "let handle t th body =";
+        "  Effect.Deep.match_with body ()";
+        "    {";
+        "      retc = (fun v -> v);";
+        "      exnc = (fun e -> settle t th (fun () -> raise e));";
+        "      effc =";
+        "        (fun (type a) (eff : a Effect.t) ->";
+        "          match eff with";
+        "          | A -> Some (fun k -> settle t th (fun () -> k ()))";
+        "          | B n -> Some (fun k -> settle t th (fun () -> resume k n))";
+        "          | _ -> None);";
+        "    }";
+        "";
+      ]
+  in
+  Alcotest.(check (list string)) "bare retc flagged" [ "retc:unsettled resume" ]
+    (tags (settle src))
+
+let test_settle_no_handler () =
+  let fs = settle "let unrelated x = x + 1\n" in
+  Alcotest.(check (list string)) "a kernel without a handler is loud"
+    [ "kernel.ml:no handler" ] (tags fs)
+
+(* --- zero-alloc --- *)
+
+let alloc ?(file = "flat.ml") src = Rule_alloc.rule.Ast_lint.run [ unit_ ~file src ]
+
+let test_alloc_clean () =
+  let fs =
+    alloc
+      "let find t k =\n\
+      \  if k >= 0 && k < Array.length t.cells then Array.unsafe_get t.cells k\n\
+      \  else (try Hashtbl.find t.spill k with Not_found -> None)\n"
+  in
+  Alcotest.(check (list string)) "stored-cell hit path is clean" [] (tags fs)
+
+let test_alloc_flags_constructs () =
+  let fs =
+    alloc
+      (String.concat "\n"
+         [
+           "let find t k = Some k";
+           "let mem t k =";
+           "  let f = fun x -> x + k in";
+           "  f (k, k)";
+           "";
+         ])
+  in
+  Alcotest.(check (list string)) "boxing and closures flagged"
+    [ "Flat.find:constructor application"; "Flat.mem:closure"; "Flat.mem:tuple" ]
+    (tags fs)
+
+let test_alloc_ref_and_partial () =
+  let fs =
+    alloc
+      (String.concat "\n"
+         [
+           "let helper a b = a + b";
+           "let find t k =";
+           "  let i = ref k in";
+           "  helper !i";
+           "";
+         ])
+  in
+  Alcotest.(check (list string)) "ref cell and partial application"
+    [ "Flat.find:ref"; "Flat.find:partial application of helper" ]
+    (tags fs)
+
+let test_alloc_raise_paths_exempt () =
+  let fs =
+    alloc
+      "let find t k =\n\
+      \  if k < 0 then invalid_arg (msg (k, t));\n\
+      \  assert (check (k, t));\n\
+      \  t\n"
+  in
+  Alcotest.(check (list string)) "failure paths may build messages" [] (tags fs)
+
+let test_alloc_uncatalogued_ignored () =
+  let fs = alloc "let create () = { cells = [||]; spill = Hashtbl.create 8 }\n" in
+  Alcotest.(check (list string)) "constructors are not hot" [] (tags fs)
+
+let test_alloc_marker () =
+  let fs =
+    alloc
+      "(* lint: allow zero-alloc -- cold refresh *)\n\
+       let find t k = Some k\n"
+  in
+  Alcotest.(check (list string)) "marker downgrades to allowed"
+    [ "Flat.find:marker" ] (verdicts fs)
+
+let test_alloc_trailing_function_is_a_parameter () =
+  let fs =
+    alloc ~file:"coherent.ml"
+      "let rec only_holder_maps holder = function\n\
+      \  | [] -> true\n\
+      \  | x :: rest -> x = holder && only_holder_maps holder rest\n"
+  in
+  Alcotest.(check (list string)) "the function keyword is not a closure" [] (tags fs)
+
+(* --- toplevel-state on the typed AST --- *)
+
+let domain ?(file = "m.ml") src = Rule_domain.rule.Ast_lint.run [ unit_ ~file src ]
+
+let test_domain_flags_and_allows () =
+  let fs =
+    domain
+      "let counter = ref 0\n\
+       let table = Hashtbl.create 16\n\
+       let next = Atomic.make 0\n\
+       (* lint: allow toplevel-state -- test knob *)\n\
+       let knob = ref false\n\
+       let make () = ref 0\n"
+  in
+  Alcotest.(check (list string)) "verdicts"
+    [ "counter:VIOLATION"; "table:VIOLATION"; "next:Atomic"; "knob:marker" ]
+    (verdicts fs)
+
+let test_domain_sees_nested_modules () =
+  (* the column-0 textual heuristic cannot see this one *)
+  let fs = domain "module Inner = struct\n  let hidden = ref 0\nend\n" in
+  Alcotest.(check (list string)) "nested toplevel state" [ "hidden:ref" ] (tags fs);
+  Alcotest.(check (list string)) "textual pass misses it" []
+    (List.map (fun (f : Lint.finding) -> f.name)
+       (Lint.scan_source ~file:"m.ml" "module Inner = struct\n  let hidden = ref 0\nend\n"))
+
+let test_domain_functor_bodies_skipped () =
+  let fs = domain "module Make (X : S) = struct\n  let per_instance = ref 0\nend\n" in
+  Alcotest.(check (list string)) "per-application state is fine" [] (tags fs)
+
+(* --- whole-tree gates --- *)
+
+let lib_units = lazy (Ast_lint.load_dirs [ "../lib" ])
+
+let test_lib_clean () =
+  let units = Lazy.force lib_units in
+  Alcotest.(check bool) "found the library sources" true (List.length units > 30);
+  let bad = Registry.violations (Registry.run_rules units) in
+  List.iter (fun f -> Format.eprintf "%a@." Ast_lint.pp_finding f) bad;
+  Alcotest.(check int) "no unexempted findings in lib/" 0 (List.length bad)
+
+let test_superset_of_textual () =
+  (* the typed rule must find (at least) everything the textual fallback
+     oracle finds, so retiring the heuristic loses nothing *)
+  let units = Lazy.force lib_units in
+  let ast = Rule_domain.rule.Ast_lint.run units in
+  let textual = Lint.scan_files (Lint.files_under "../lib") in
+  List.iter
+    (fun (t : Lint.finding) ->
+      let covered =
+        List.exists
+          (fun (a : Ast_lint.finding) ->
+            a.file = t.file && a.name = t.name && a.construct = t.construct)
+          ast
+      in
+      if not covered then
+        Alcotest.failf "textual finding not reproduced by the AST rule: %s [%s] %s" t.file
+          t.name t.construct)
+    textual
+
+let test_eff_constructors_all_handled () =
+  (* live exhaustiveness: every Eff.t constructor has an arm today *)
+  let units = Lazy.force lib_units in
+  let ctors = Rule_settle.eff_constructors units in
+  Alcotest.(check bool) "inventory is non-trivial" true (List.length ctors >= 20);
+  let unhandled =
+    List.filter
+      (fun (f : Ast_lint.finding) -> f.construct = "unhandled constructor")
+      (Rule_settle.rule.Ast_lint.run units)
+  in
+  Alcotest.(check (list string)) "none unhandled" [] (tags unhandled)
+
+let test_mutation_gate () =
+  let units = Lazy.force lib_units in
+  List.iter
+    (fun (g : Registry.gate) ->
+      match g.g_result with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" g.g_name e)
+    (Registry.mutation_gate units)
+
+let suite =
+  [
+    ("framework: parse errors are located", `Quick, test_parse_error);
+    ("framework: marker scope", `Quick, test_marker_scope);
+    ("framework: mutation surgery is anchored and loud", `Quick, test_surgery);
+    ("epoch: direct bump vs bump-less mutator", `Quick, test_epoch_direct_and_uncovered);
+    ("epoch: caller coverage", `Quick, test_epoch_caller_coverage);
+    ("epoch: one uncovered caller poisons", `Quick, test_epoch_uncovered_caller_breaks_coverage);
+    ("epoch: markers allow and propagate", `Quick, test_epoch_marker_allows_and_propagates);
+    ("epoch: excluded fields and Flat setters", `Quick, test_epoch_excluded_fields_and_flat);
+    ("epoch: array stores on state fields", `Quick, test_epoch_array_on_state_field);
+    ("settle: clean handler passes", `Quick, test_settle_clean);
+    ("settle: unwrapped arm flagged", `Quick, test_settle_unwrapped_arm);
+    ("settle: missing constructor flagged", `Quick, test_settle_missing_constructor);
+    ("settle: bare retc flagged", `Quick, test_settle_unsettled_retc);
+    ("settle: absent handler is loud", `Quick, test_settle_no_handler);
+    ("alloc: stored-cell hit path clean", `Quick, test_alloc_clean);
+    ("alloc: boxing constructs flagged", `Quick, test_alloc_flags_constructs);
+    ("alloc: ref and partial application", `Quick, test_alloc_ref_and_partial);
+    ("alloc: failure paths exempt", `Quick, test_alloc_raise_paths_exempt);
+    ("alloc: uncatalogued functions ignored", `Quick, test_alloc_uncatalogued_ignored);
+    ("alloc: marker downgrades", `Quick, test_alloc_marker);
+    ("alloc: trailing function is a parameter", `Quick, test_alloc_trailing_function_is_a_parameter);
+    ("domain: flags, Atomic, marker", `Quick, test_domain_flags_and_allows);
+    ("domain: nested modules visible", `Quick, test_domain_sees_nested_modules);
+    ("domain: functor bodies skipped", `Quick, test_domain_functor_bodies_skipped);
+    ("gate: lib/ has no unexempted findings", `Quick, test_lib_clean);
+    ("gate: AST domain rule supersedes textual", `Quick, test_superset_of_textual);
+    ("gate: every Eff.t constructor handled", `Quick, test_eff_constructors_all_handled);
+    ("gate: seeded mutations are caught", `Quick, test_mutation_gate);
+  ]

@@ -403,6 +403,20 @@ let test_lint_flags_dls_key () =
          ^ Option.value ~default:"VIOLATION" f.Lint.allowed)
        findings)
 
+let test_lint_flags_new_constructs () =
+  (* PR 8 gap-fill: containers the original catalogue missed *)
+  let findings =
+    lint_src
+      "let samples = Float.Array.create 64\n\
+       let lut = Hashtbl.of_list [ (1, \"a\") ]\n\
+       let joined = Array.append [| 1 |] [| 2 |]\n"
+  in
+  Alcotest.(check (list string)) "all flagged"
+    [ "samples:Float.Array.create"; "lut:Hashtbl.of_list"; "joined:Array.append" ]
+    (List.map (fun f -> f.Lint.name ^ ":" ^ f.Lint.construct) findings);
+  Alcotest.(check bool) "all violations" true
+    (List.for_all (fun f -> f.Lint.allowed = None) findings)
+
 let test_lint_allows_atomic_and_marker () =
   let findings =
     lint_src
@@ -478,6 +492,7 @@ let suite =
     qtest prop_random_sequences_clean;
     ("lint: flags toplevel mutable state", `Quick, test_lint_flags_toplevel_refs);
     ("lint: functions and plain values pass", `Quick, test_lint_allows_functions_and_values);
+    ("lint: gap-fill constructs flagged", `Quick, test_lint_flags_new_constructs);
     ("lint: Atomic and marker allowed", `Quick, test_lint_allows_atomic_and_marker);
     ("lint: Domain.DLS keys flagged", `Quick, test_lint_flags_dls_key);
     ("lint: comments and strings ignored", `Quick, test_lint_ignores_comments_and_strings);

@@ -7,6 +7,7 @@ let () =
       ("core", Test_core.suite);
       ("flat", Test_flat.suite);
       ("check", Test_check.suite);
+      ("ast_lint", Test_ast_lint.suite);
       ("vm", Test_vm.suite);
       ("kernel", Test_kernel.suite);
       ("fastpath", Test_fastpath.suite);
