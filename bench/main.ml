@@ -41,6 +41,10 @@ let experiments : (string * string * (Exp_common.scale -> unit)) list =
       "fault-injection soak: workloads correct + deterministic under faults (emits \
        BENCH_soak.json)",
       Exp_soak.run );
+    ( "serve",
+      "open-loop request serving: tail latency per transport + SLO under faults (emits \
+       BENCH_serve.json)",
+      Exp_serve.run );
   ]
 
 let run_selected names full procs jobs shards list_only =

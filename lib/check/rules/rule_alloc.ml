@@ -51,6 +51,7 @@ let catalogue =
         "arm"; "close"; "armed"; "value"; "slot_ok"; "decline"; "vpage_of";
         "try_read"; "try_write"; "try_rmw";
       ] );
+    ("hist.ml", [ "record"; "record_n"; "index_of"; "bits_above" ]);
   ]
 
 let raising = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]

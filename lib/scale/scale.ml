@@ -19,15 +19,22 @@ module Xbar = Platinum_machine.Xbar
 module Shard = Platinum_sim.Shard
 module Inject = Platinum_sim.Inject
 module Rng = Platinum_sim.Rng
+module Arrivals = Platinum_sim.Arrivals
+module Hist = Platinum_stats.Hist
 
 type workload =
   | Traffic  (** remote/local word traffic served at the home module *)
   | Storm  (** shootdown IPI storms with lost/delayed-IPI recovery *)
   | Echo  (** RPC echo against per-cluster servers, with retransmission *)
+  | Serve  (** open-loop request serving with per-node latency histograms *)
 
-let workload_name = function Traffic -> "traffic" | Storm -> "storm" | Echo -> "echo"
+let workload_name = function
+  | Traffic -> "traffic"
+  | Storm -> "storm"
+  | Echo -> "echo"
+  | Serve -> "serve"
 
-let all_workloads = [ Traffic; Storm; Echo ]
+let all_workloads = [ Traffic; Storm; Echo; Serve ]
 
 type node = {
   id : int;
@@ -46,6 +53,9 @@ type node = {
   mutable retries : int;
   mutable rpcs : int;
   mutable served : int;
+  (* per-node latency histogram (Serve); coarse precision keeps the
+     footprint small on thousand-node machines *)
+  hist : Hist.t;
 }
 
 (* Each workload's own conservative horizon.  Config.lookahead_ns is the
@@ -56,7 +66,7 @@ type node = {
 let lookahead (c : Config.t) = function
   | Traffic -> min c.Config.t_remote_read_word c.Config.t_remote_write_word
   | Storm -> c.Config.ipi_send_ns
-  | Echo -> c.Config.port_op_ns
+  | Echo | Serve -> c.Config.port_op_ns
 
 type result = {
   workload : string;
@@ -75,6 +85,10 @@ type result = {
   rpcs : int;
   faults : int;
   avg_latency_ns : float;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  p999_ns : int;
   fingerprint : string;
 }
 
@@ -112,6 +126,7 @@ let make_nodes (c : Config.t) ~seed ~inject_rate ~ops_per_node =
         retries = 0;
         rpcs = 0;
         served = 0;
+        hist = Hist.create ~precision_bits:5 ();
       })
 
 (* Pick a remote destination: mostly intra-cluster, sometimes across the
@@ -317,12 +332,95 @@ let start_echo (c : Config.t) sh nodes_arr modules =
     (fun n -> Shard.schedule sh ~node:n.id ~delay:(Rng.int n.rng 50_000) (tick n))
     nodes_arr
 
+(* --- Serve: open-loop request serving with latency histograms --- *)
+
+(* Every node is a client under open-loop load: its arrival schedule is a
+   seeded Poisson stream consumed at the scheduled instants, and the next
+   request is scheduled when the current one *arrives*, never when it
+   completes — overload builds a queue at the server's module instead of
+   throttling the offered load.  Requests go to per-cluster servers (the
+   tenant homes) exactly like Echo, with lossy-switch retransmission, and
+   each completion records (done - scheduled_arrival) in the client's
+   histogram, so the merged tails show queueing delay, fabric crossings
+   and fault recovery all at once. *)
+let start_serve (c : Config.t) sh nodes_arr modules ~offered_rps =
+  let nnodes = c.Config.nprocs in
+  let server_of (n : node) =
+    let nclusters = Config.clusters c in
+    let cluster =
+      if nclusters > 1 && Rng.int n.rng 100 < 20 then
+        (Config.cluster_of c n.id + 1 + Rng.int n.rng (nclusters - 1)) mod nclusters
+      else Config.cluster_of c n.id
+    in
+    min (cluster * c.Config.cluster_size) (nnodes - 1)
+  in
+  (* One arrival generator per node, created in node order off the node's
+     own stream — shard- and domain-independent like every other draw. *)
+  let gens =
+    Array.map
+      (fun n -> Arrivals.create ~rng:n.rng (Arrivals.Poisson { rate_rps = offered_rps }))
+      nodes_arr
+  in
+  let rec arrive (n : node) (_now : int) =
+    if n.ops_left > 0 then begin
+      n.ops_left <- n.ops_left - 1;
+      (* Open loop: commit to the next arrival before serving this one. *)
+      if n.ops_left > 0 then
+        Shard.schedule sh ~node:n.id ~delay:(Arrivals.next_gap_ns gens.(n.id)) (arrive n);
+      let dst = server_of n in
+      let words = 2 + Rng.int n.rng 6 in
+      let issue = Shard.now sh ~node:n.id in
+      let wire =
+        c.Config.port_op_ns + (words * c.Config.t_block_word)
+        + (match Config.hop c ~src:n.id ~dst with
+          | Config.Cross -> words * c.Config.t_cross_block_extra
+          | Config.Local | Config.Intra -> 0)
+      in
+      let finish (done_at : int) =
+        n.rpcs <- n.rpcs + 1;
+        n.words <- n.words + (2 * words);
+        n.latency_ns <- n.latency_ns + (done_at - issue);
+        Hist.record n.hist (done_at - issue)
+      in
+      let serve (arrival : int) =
+        let server = nodes_arr.(dst) in
+        server.served <- server.served + 1;
+        if dst = n.id then finish (arrival + c.Config.port_op_ns)
+        else begin
+          let q =
+            Xbar.access ?inject:server.inject c modules ~now:arrival ~proc:n.id
+              ~mem_module:dst Xbar.Read ~words:1
+          in
+          Shard.post sh ~src:dst ~dst:n.id ~delay:(max wire (q + c.Config.port_op_ns))
+            finish
+        end
+      in
+      let rec send ~attempt =
+        match n.inject with
+        | None -> Shard.post sh ~src:n.id ~dst ~delay:wire serve
+        | Some inj ->
+          if Inject.rpc_drop inj ~attempt then begin
+            n.retries <- n.retries + 1;
+            Inject.note_rpc_retry inj;
+            Shard.schedule sh ~node:n.id ~delay:(Inject.rpc_retrans inj ~attempt)
+              (fun (_ : int) -> send ~attempt:(attempt + 1))
+          end
+          else Shard.post sh ~src:n.id ~dst ~delay:wire serve
+      in
+      send ~attempt:0
+    end
+  in
+  Array.iter
+    (fun n ->
+      Shard.schedule sh ~node:n.id ~delay:(Arrivals.next_gap_ns gens.(n.id)) (arrive n))
+    nodes_arr
+
 (* --- fingerprinting and the driver --- *)
 
 let fnv_prime = 0x100000001b3L
 
 let run ?check ?(shards = 1) ?(domains = 1) ?(inject_rate = 0.0) ?(seed = 42L)
-    ?(ops_per_node = 50) ~config workload =
+    ?(ops_per_node = 50) ?(offered_rps = 25_000.0) ~config workload =
   let c : Config.t = config in
   let sh =
     Shard.create ?check ~nodes:c.Config.nprocs ~shards
@@ -333,7 +431,8 @@ let run ?check ?(shards = 1) ?(domains = 1) ?(inject_rate = 0.0) ?(seed = 42L)
   (match workload with
   | Traffic -> start_traffic c sh nodes_arr modules
   | Storm -> start_storm c sh nodes_arr
-  | Echo -> start_echo c sh nodes_arr modules);
+  | Echo -> start_echo c sh nodes_arr modules
+  | Serve -> start_serve c sh nodes_arr modules ~offered_rps);
   Shard.run ~domains sh;
   let h = ref 0xcbf29ce484222325L in
   let mixin v = h := Int64.mul (Int64.logxor !h (Int64.of_int v)) fnv_prime in
@@ -354,6 +453,7 @@ let run ?check ?(shards = 1) ?(domains = 1) ?(inject_rate = 0.0) ?(seed = 42L)
       mixin (Memmodule.requests n.mmodule);
       mixin (Memmodule.total_busy_ns n.mmodule);
       mixin (Memmodule.total_wait_ns n.mmodule);
+      String.iter (fun ch -> mixin (Char.code ch)) (Hist.fingerprint n.hist);
       (match n.inject with
       | None -> ()
       | Some inj -> String.iter (fun ch -> mixin (Char.code ch)) (Inject.fingerprint inj));
@@ -372,6 +472,8 @@ let run ?check ?(shards = 1) ?(domains = 1) ?(inject_rate = 0.0) ?(seed = 42L)
   mixin (Shard.clock sh);
   let accesses, words, remote, cross, ipis, retries, rpcs, faults = !acc in
   let denom = max 1 (accesses + rpcs) in
+  let merged = Hist.create ~precision_bits:5 () in
+  Array.iter (fun n -> Hist.merge ~into:merged n.hist) nodes_arr;
   {
     workload = workload_name workload;
     nodes = c.Config.nprocs;
@@ -391,5 +493,9 @@ let run ?check ?(shards = 1) ?(domains = 1) ?(inject_rate = 0.0) ?(seed = 42L)
     avg_latency_ns =
       float_of_int (Array.fold_left (fun s n -> s + n.latency_ns) 0 nodes_arr)
       /. float_of_int denom;
+    p50_ns = Hist.p50 merged;
+    p95_ns = Hist.p95 merged;
+    p99_ns = Hist.p99 merged;
+    p999_ns = Hist.p999 merged;
     fingerprint = Printf.sprintf "%016Lx" !h;
   }

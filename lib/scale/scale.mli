@@ -22,6 +22,12 @@ type workload =
   | Traffic  (** remote/local word traffic served at the home module *)
   | Storm  (** shootdown IPI storms with lost/delayed-IPI recovery *)
   | Echo  (** RPC echo against per-cluster servers, with retransmission *)
+  | Serve
+      (** open-loop request serving: seeded Poisson arrivals per node
+          ({!Platinum_sim.Arrivals}), per-cluster servers with
+          retransmission, and per-node latency histograms
+          ({!Platinum_stats.Hist}) whose merged tails land in
+          {!result.p50_ns}..{!result.p999_ns} *)
 
 val workload_name : workload -> string
 val all_workloads : workload list
@@ -48,10 +54,14 @@ type result = {
   rpcs : int;  (** completed RPC round trips (Echo) *)
   faults : int;  (** faults the planes injected *)
   avg_latency_ns : float;  (** mean completed-operation latency *)
+  p50_ns : int;  (** latency percentiles over the merged histograms *)
+  p95_ns : int;
+  p99_ns : int;
+  p999_ns : int;  (** (all 0 for workloads that record no latencies) *)
   fingerprint : string;
-      (** FNV-1a fold over every node's counters, module statistics and
-          fault-plane fingerprint, in node order — byte-identical across
-          shard and domain counts. *)
+      (** FNV-1a fold over every node's counters, module statistics,
+          latency histogram and fault-plane fingerprint, in node order —
+          byte-identical across shard and domain counts. *)
 }
 
 val run :
@@ -61,6 +71,7 @@ val run :
   ?inject_rate:float ->
   ?seed:int64 ->
   ?ops_per_node:int ->
+  ?offered_rps:float ->
   config:Platinum_machine.Config.t ->
   workload ->
   result
@@ -68,5 +79,7 @@ val run :
     set into contiguous blocks; [domains] (default 1) drives them in
     parallel — neither affects the result.  [inject_rate] > 0 attaches a
     deterministic per-node fault plane ({!Platinum_sim.Inject}) exercising
-    the IPI-retry and RPC-retransmission recovery paths.  [check] arms the
-    shard window self-checks (defaults from [PLATINUM_CHECK=1]). *)
+    the IPI-retry and RPC-retransmission recovery paths.  [offered_rps]
+    (default 25000, [Serve] only) is each node's open-loop arrival rate.
+    [check] arms the shard window self-checks (defaults from
+    [PLATINUM_CHECK=1]). *)

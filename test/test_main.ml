@@ -23,4 +23,5 @@ let () =
       ("parshard", Test_parshard.suite);
       ("extensions", Test_extensions.suite);
       ("units", Test_units.suite);
+      ("serve", Test_serve.suite);
     ]
