@@ -13,6 +13,7 @@ module Time_ns = Platinum_sim.Time_ns
 type scale = {
   full : bool;  (** paper-size problems (slower) *)
   procs : int list;  (** processor counts for speedup curves *)
+  kernel : bool;  (** scale experiment: run only the hosted-kernel section *)
 }
 
 let default_procs = [ 1; 2; 4; 8; 12; 16 ]
@@ -81,5 +82,7 @@ let check_shape what ok =
    entries are comparable across machines. *)
 let host_json () =
   Printf.sprintf
-    "{ \"recommended_domains\": %d, \"ocaml_version\": %S, \"word_size_bits\": %d }"
+    "{ \"cores\": %d, \"recommended_domains\": %d, \"ocaml_version\": %S, \
+     \"word_size_bits\": %d }"
+    (Domain.recommended_domain_count ())
     (Par.default_jobs ()) Sys.ocaml_version Sys.word_size

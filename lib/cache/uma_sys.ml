@@ -177,6 +177,7 @@ let memsys t =
     (* The UMA machine has no directory protocol to gate eligibility on;
        every access keeps the full-suspend path. *)
     fastpath = None;
+    remote = None;
   }
 
 let create ~machine ~params ~page_words =

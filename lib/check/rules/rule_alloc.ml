@@ -35,7 +35,7 @@ let catalogue =
         "read_word_s"; "write_word_s"; "rmw_word_s"; "finish_read"; "finish_write";
         "finish_rmw"; "after_write_inline"; "page_of"; "only_holder_maps";
       ] );
-    ("flat.ml", [ "find"; "mem" ]);
+    ("flat.ml", [ "find"; "mem"; "remove"; "chunk_touched" ]);
     ("atc.ml", [ "find"; "peek" ]);
     ("cmap.ml", [ "find" ]);
     ("pmap.ml", [ "find" ]);

@@ -1,54 +1,95 @@
-(* Dense vpage-indexed tables: the flat storage behind Pmap, Atc and Cmap.
+(* Chunked vpage-indexed tables: the flat storage behind Pmap, Atc and Cmap.
 
    The PLATINUM argument (§3-4) is that the common case — a mapped,
    coherent access — must cost almost nothing.  Hashing on every simulated
    word made the simulator's common case pay bucket chases and [Some]
-   allocations; a dense array indexed by vpage makes a hit one bounds check
-   and one load, and returning the *stored* option cell keeps the hit path
+   allocations; an array indexed by vpage makes a hit bounds checks
+   and loads, and returning the *stored* option cell keeps the hit path
    free of minor-heap allocation.
 
-   Virtual pages are small integers for every workload the simulator runs
-   (zones allocate from low addresses), so keys below [dense_limit] live in
-   a geometrically-grown array; anything else — negative or genuinely
-   sparse — spills to a hash table that stores pre-wrapped options so even
-   spill hits allocate nothing. *)
+   PR 5's representation was a single dense prefix capped at 2^16 keys,
+   which priced a GB-scale address space at its *span*: one sparse touch
+   near the top of a 2^27-word space would have either allocated the whole
+   prefix or pushed every access onto the spill path.  The table is now
+   chunked: keys in [0, dense_limit) resolve through a two-level array —
+   an outer chunk directory grown geometrically, and 2^12-entry chunks
+   allocated on first touch — so resident memory is proportional to the
+   *touched* footprint (one chunk per touched 4096-page window) while a
+   steady-state hit is still two bounds checks and two loads with zero
+   allocation.  Negative keys and keys at or above [dense_limit] spill to
+   a hash table that stores pre-wrapped options, so even spill hits
+   allocate nothing. *)
 
 type 'a t = {
-  mutable cells : 'a option array;  (* dense prefix, index = key *)
+  mutable chunks : 'a option array array;
+      (* outer directory, index = key lsr chunk_bits; [||] = never touched *)
   spill : (int, 'a option) Hashtbl.t;  (* keys outside [0, dense_limit) *)
   mutable population : int;
 }
 
-let dense_limit = 1 lsl 16
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits
+let chunk_mask = chunk_size - 1
 
-let create () = { cells = [||]; spill = Hashtbl.create 8; population = 0 }
+(* The chunk-addressable span: 2^22 pages = 2^32 words of address space at
+   the default kilo-word page.  The outer directory tops out at
+   [dense_limit / chunk_size] = 1024 pointers, so even a touch at the very
+   top of the span costs kilobytes of directory, not gigabytes of cells. *)
+let dense_limit = 1 lsl 22
+
+let max_chunks = dense_limit lsr chunk_bits
+
+let create () = { chunks = [||]; spill = Hashtbl.create 8; population = 0 }
 
 let find t k =
-  if k >= 0 && k < Array.length t.cells then Array.unsafe_get t.cells k
-  else if k >= 0 && k < dense_limit then None
-  else (try Hashtbl.find t.spill k with Not_found -> None)
+  if k >= 0 && k < dense_limit then begin
+    let c = k lsr chunk_bits in
+    if c < Array.length t.chunks then begin
+      let ch = Array.unsafe_get t.chunks c in
+      if Array.length ch = 0 then None else Array.unsafe_get ch (k land chunk_mask)
+    end
+    else None
+  end
+  else try Hashtbl.find t.spill k with Not_found -> None
 
 let mem t k =
-  if k >= 0 && k < Array.length t.cells then Array.unsafe_get t.cells k <> None
-  else if k >= 0 && k < dense_limit then false
+  if k >= 0 && k < dense_limit then begin
+    let c = k lsr chunk_bits in
+    if c < Array.length t.chunks then begin
+      let ch = Array.unsafe_get t.chunks c in
+      Array.length ch <> 0 && Array.unsafe_get ch (k land chunk_mask) <> None
+    end
+    else false
+  end
   else Hashtbl.mem t.spill k
 
-let ensure t k =
-  let n = Array.length t.cells in
-  if k >= n then begin
-    let n' = min dense_limit (max 64 (max (k + 1) (2 * n))) in
-    let cells = Array.make n' None in
-    Array.blit t.cells 0 cells 0 n;
-    t.cells <- cells
+(* Grow the directory to reach chunk [c], allocate the chunk on first
+   touch, and return it.  Only [set] pays this; probes never allocate. *)
+let ensure_chunk t k =
+  let c = k lsr chunk_bits in
+  let n = Array.length t.chunks in
+  if c >= n then begin
+    let n' = min max_chunks (max 8 (max (c + 1) (2 * n))) in
+    let chunks = Array.make n' [||] in
+    Array.blit t.chunks 0 chunks 0 n;
+    t.chunks <- chunks
+  end;
+  let ch = t.chunks.(c) in
+  if Array.length ch <> 0 then ch
+  else begin
+    let ch = Array.make chunk_size None in
+    t.chunks.(c) <- ch;
+    ch
   end
 
 let set t k v =
   if k >= 0 && k < dense_limit then begin
-    ensure t k;
-    (match Array.unsafe_get t.cells k with
+    let ch = ensure_chunk t k in
+    let i = k land chunk_mask in
+    (match Array.unsafe_get ch i with
     | None -> t.population <- t.population + 1
     | Some _ -> ());
-    Array.unsafe_set t.cells k (Some v)
+    Array.unsafe_set ch i (Some v)
   end
   else begin
     if not (Hashtbl.mem t.spill k) then t.population <- t.population + 1;
@@ -57,12 +98,18 @@ let set t k v =
 
 let remove t k =
   if k >= 0 && k < dense_limit then begin
-    if k < Array.length t.cells then
-      match Array.unsafe_get t.cells k with
-      | None -> ()
-      | Some _ ->
-        Array.unsafe_set t.cells k None;
-        t.population <- t.population - 1
+    let c = k lsr chunk_bits in
+    if c < Array.length t.chunks then begin
+      let ch = Array.unsafe_get t.chunks c in
+      if Array.length ch <> 0 then begin
+        let i = k land chunk_mask in
+        match Array.unsafe_get ch i with
+        | None -> ()
+        | Some _ ->
+          Array.unsafe_set ch i None;
+          t.population <- t.population - 1
+      end
+    end
   end
   else if Hashtbl.mem t.spill k then begin
     Hashtbl.remove t.spill k;
@@ -70,8 +117,8 @@ let remove t k =
   end
 
 let clear t =
-  if t.population > 0 then begin
-    Array.fill t.cells 0 (Array.length t.cells) None;
+  if t.population > 0 || Array.length t.chunks > 0 then begin
+    t.chunks <- [||];
     Hashtbl.reset t.spill;
     t.population <- 0
   end
@@ -79,11 +126,25 @@ let clear t =
 let length t = t.population
 
 let iter f t =
-  for k = 0 to Array.length t.cells - 1 do
-    match Array.unsafe_get t.cells k with
-    | Some v -> f k v
-    | None -> ()
+  for c = 0 to Array.length t.chunks - 1 do
+    let ch = Array.unsafe_get t.chunks c in
+    if Array.length ch <> 0 then
+      for i = 0 to chunk_size - 1 do
+        match Array.unsafe_get ch i with
+        | Some v -> f ((c lsl chunk_bits) lor i) v
+        | None -> ()
+      done
   done;
   Hashtbl.iter (fun k v -> match v with Some v -> f k v | None -> ()) t.spill
 
-let dense_capacity t = Array.length t.cells
+let chunk_count t = Array.length t.chunks
+
+let chunk_touched t c =
+  c >= 0 && c < Array.length t.chunks && Array.length t.chunks.(c) <> 0
+
+let touched_chunks t =
+  let n = ref 0 in
+  for c = 0 to Array.length t.chunks - 1 do
+    if Array.length t.chunks.(c) <> 0 then incr n
+  done;
+  !n

@@ -1,18 +1,33 @@
-(** Dense vpage-indexed tables (the flat storage behind {!Pmap}, {!Atc}
+(** Chunked vpage-indexed tables (the flat storage behind {!Pmap}, {!Atc}
     and {!Cmap}).
 
-    A table maps small non-negative integer keys — virtual page numbers —
-    to values through a geometrically-grown dense array, so the steady-state
-    lookup is one bounds check and one load.  [find] returns the {e stored}
-    option cell, never a fresh [Some], so a hit allocates zero minor-heap
-    words.  Keys outside [0, dense_limit) (negative, or a genuinely sparse
-    address space) spill to a hash table whose values are pre-wrapped
-    options, keeping even spill hits allocation-free. *)
+    A table maps non-negative integer keys — virtual page numbers — to
+    values through a two-level array: an outer chunk directory grown
+    geometrically, and fixed-size chunks ([chunk_size] entries) allocated
+    on first touch.  Resident memory is therefore proportional to the
+    {e touched} footprint, not the address-space span, which is what lets
+    a GB-scale sparse address space cost kilobytes.  The steady-state
+    lookup is two bounds checks and two loads; [find] returns the
+    {e stored} option cell, never a fresh [Some], so a hit allocates zero
+    minor-heap words.  Keys outside [0, dense_limit) (negative, or beyond
+    the chunk-addressable span) spill to a hash table whose values are
+    pre-wrapped options, keeping even spill hits allocation-free. *)
 
 type 'a t
 
 val dense_limit : int
-(** Keys in [0, dense_limit) use the dense array; others spill. *)
+(** Keys in [0, dense_limit) use the chunked arrays; others spill. *)
+
+val chunk_bits : int
+(** log2 of the chunk size: key [k] lives in chunk [k lsr chunk_bits]. *)
+
+val chunk_size : int
+(** Entries per chunk (= [1 lsl chunk_bits]); one chunk is the allocation
+    granule of the table. *)
+
+val chunk_mask : int
+(** [chunk_size - 1]: key [k]'s slot within its chunk is
+    [k land chunk_mask]. *)
 
 val create : unit -> 'a t
 
@@ -21,17 +36,30 @@ val find : 'a t -> int -> 'a option
 
 val mem : 'a t -> int -> bool
 val set : 'a t -> int -> 'a -> unit
-(** Add or replace. *)
+(** Add or replace.  First touch of a chunk allocates it. *)
 
 val remove : 'a t -> int -> unit
+(** Unbind a key.  A no-op on keys whose chunk was never touched —
+    nothing is allocated. *)
+
 val clear : 'a t -> unit
+(** Drop every binding and release all chunks. *)
 
 val length : 'a t -> int
 (** Number of bound keys, O(1). *)
 
 val iter : (int -> 'a -> unit) -> 'a t -> unit
-(** Dense keys in ascending order, then spill keys in hash order. *)
+(** Chunked keys in ascending order, then spill keys in hash order. *)
 
-val dense_capacity : 'a t -> int
-(** Current length of the dense prefix (for mirror structures that must
-    grow in lockstep, e.g. {!Pmap}'s packed-entry array). *)
+val chunk_count : 'a t -> int
+(** Current length of the outer chunk directory (for mirror structures
+    that must grow in lockstep, e.g. {!Pmap}'s packed-entry chunks). *)
+
+val chunk_touched : 'a t -> int -> bool
+(** Whether chunk [c] has been allocated (some key in
+    [c * chunk_size, (c+1) * chunk_size) was set since the last
+    [clear]). *)
+
+val touched_chunks : 'a t -> int
+(** Number of allocated chunks — the table's resident footprint in units
+    of [chunk_size] cells. *)

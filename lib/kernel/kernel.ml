@@ -33,6 +33,8 @@ type t = {
   machine : Machine.t;
   memsys : Memsys.t;
   coalesce : bool;  (* arm the effect-boundary fast path between suspends *)
+  proc_base : int;  (* first processor this kernel schedules *)
+  proc_count : int;  (* width of the slice; run queues are indexed by offset *)
   threads : (int, thread) Hashtbl.t;
   runqs : int Queue.t array;
   proc_active : bool array;  (* an event for this processor is in flight *)
@@ -47,16 +49,33 @@ type t = {
   mutable place_rr : int;
 }
 
-let create ?(coalesce = true) ~engine ~machine ~memsys () =
-  let n = Machine.nprocs machine in
+(* A kernel normally schedules every processor of the machine.  Under the
+   hosted sharded driver (Shard.host, DESIGN.md §4j) one kernel instance
+   runs per node, and [slice] restricts it to that node's processors —
+   run queues and active flags are sized to the slice, not the machine,
+   so N per-node kernels cost O(N) queues in total rather than O(N^2). *)
+let create ?(coalesce = true) ?slice ~engine ~machine ~memsys () =
+  let nmachine = Machine.nprocs machine in
+  let base, count =
+    match slice with
+    | None -> (0, nmachine)
+    | Some (base, count) ->
+      if base < 0 || count < 1 || base + count > nmachine then
+        invalid_arg
+          (Printf.sprintf "Kernel.create: slice [%d, %d) outside machine of %d procs" base
+             (base + count) nmachine);
+      (base, count)
+  in
   {
     engine;
     machine;
     memsys;
     coalesce = coalesce && memsys.Memsys.fastpath <> None;
+    proc_base = base;
+    proc_count = count;
     threads = Hashtbl.create 64;
-    runqs = Array.init n (fun _ -> Queue.create ());
-    proc_active = Array.make n false;
+    runqs = Array.init count (fun _ -> Queue.create ());
+    proc_active = Array.make count false;
     ports = Hashtbl.create 16;
     next_tid = 0;
     next_pid = 0;
@@ -77,6 +96,11 @@ let all_done t = t.live = 0 && t.created > 0
 let threads_created t = t.created
 let context_switches t = t.switches
 
+let runq t proc = t.runqs.(proc - t.proc_base)
+let proc_busy t proc = t.proc_active.(proc - t.proc_base)
+let set_proc_busy t proc v = t.proc_active.(proc - t.proc_base) <- v
+let in_slice t p = p >= t.proc_base && p < t.proc_base + t.proc_count
+
 let thread t tid =
   match Hashtbl.find_opt t.threads tid with
   | Some th -> th
@@ -84,12 +108,12 @@ let thread t tid =
 
 let place t = function
   | Some p ->
-    if p < 0 || p >= Machine.nprocs t.machine then
+    if not (in_slice t p) then
       invalid_arg (Printf.sprintf "Kernel: no processor %d" p);
     p
   | None ->
-    let p = t.place_rr in
-    t.place_rr <- (t.place_rr + 1) mod Machine.nprocs t.machine;
+    let p = t.proc_base + t.place_rr in
+    t.place_rr <- (t.place_rr + 1) mod t.proc_count;
     p
 
 let make_thread t ~proc ~aspace body =
@@ -133,7 +157,7 @@ let arm t th =
        run is unbounded by the quantum.  Otherwise the remaining quantum
        caps the run just as the per-word path's boundary check would. *)
     let quantum_left =
-      if Queue.is_empty t.runqs.(th.proc) then max_int
+      if Queue.is_empty (runq t th.proc) then max_int
       else (config t).Config.quantum_ns - th.quantum_used
     in
     Fastpath.arm (Fastpath.ctx ()) ops ~buf:th.runbuf ~base:(Engine.now t.engine)
@@ -141,10 +165,10 @@ let arm t th =
   | _ -> ()
 
 let rec dispatch t proc =
-  match Queue.take_opt t.runqs.(proc) with
-  | None -> t.proc_active.(proc) <- false
+  match Queue.take_opt (runq t proc) with
+  | None -> set_proc_busy t proc false
   | Some tid ->
-    t.proc_active.(proc) <- true;
+    set_proc_busy t proc true;
     t.switches <- t.switches + 1;
     let th = thread t tid in
     th.state <- Running;
@@ -164,9 +188,9 @@ let rec dispatch t proc =
    own processor (a local timer expiry). *)
 and wake ?src t th =
   th.state <- Runnable;
-  Queue.add th.tid t.runqs.(th.proc);
-  if not t.proc_active.(th.proc) then begin
-    t.proc_active.(th.proc) <- true;
+  Queue.add th.tid (runq t th.proc);
+  if not (proc_busy t th.proc) then begin
+    set_proc_busy t th.proc true;
     let delay = (config t).Config.context_switch_ns in
     let src = match src with Some s -> s | None -> th.proc in
     Engine.post t.engine ~src ~dst:th.proc ~delay (fun () -> dispatch t th.proc)
@@ -193,12 +217,12 @@ and finish_op : t -> thread -> lat:int -> (unit -> unit) -> unit =
   th.quantum_used <- th.quantum_used + total;
   if
     th.quantum_used >= (config t).Config.quantum_ns
-    && not (Queue.is_empty t.runqs.(th.proc))
+    && not (Queue.is_empty (runq t th.proc))
   then begin
     th.state <- Runnable;
     th.resume <- Some resume;
     Engine.schedule_after t.engine ~delay:total (fun () ->
-        Queue.add th.tid t.runqs.(th.proc);
+        Queue.add th.tid (runq t th.proc);
         dispatch t th.proc)
   end
   else if total = 0 then resume ()
@@ -263,13 +287,34 @@ and start_fiber t th =
             (* The whole memory hot path: one trap, one backend submit —
                reached only when the coalescer declined the access, so
                [settle] first charges any drained run, then the submit
-               runs at the batched-charge horizon. *)
+               runs at the batched-charge horizon.
+
+               A distributed backend (Memsys.remote, DESIGN.md §4j) may
+               adopt the transaction instead: the thread blocks, protocol
+               messages do their round trips on the engine, and the
+               completion callback wakes it with the result — the latency
+               is implicit in when that wake fires, so nothing further is
+               charged here. *)
             Some
               (fun (k : (a, _) continuation) ->
                 settle t th (fun () ->
-                    run_op t th k (fun () ->
-                        t.memsys.Memsys.submit ~now:(Engine.now t.engine) ~proc:th.proc
-                          ~aspace:th.aspace txn)))
+                    let sync () =
+                      run_op t th k (fun () ->
+                          t.memsys.Memsys.submit ~now:(Engine.now t.engine) ~proc:th.proc
+                            ~aspace:th.aspace txn)
+                    in
+                    match t.memsys.Memsys.remote with
+                    | None -> sync ()
+                    | Some r ->
+                      let slot = ref Platinum_core.Memtxn.Unit in
+                      let adopted =
+                        r.Memsys.try_remote ~now:(Engine.now t.engine) ~proc:th.proc
+                          ~aspace:th.aspace txn
+                          ~complete:(fun res ->
+                            slot := res;
+                            wake t th)
+                      in
+                      if adopted then block t th k (lazy !slot) else sync ()))
           | Eff.Compute ns ->
             Some (fun k -> settle t th (fun () -> complete t th k () (max ns 0)))
           | Eff.Yield ->
@@ -282,7 +327,7 @@ and start_fiber t th =
                         (fun () ->
                           arm t th;
                           continue k ());
-                    Queue.add th.tid t.runqs.(th.proc);
+                    Queue.add th.tid (runq t th.proc);
                     dispatch t th.proc))
           | Eff.Spawn (body, hint, aspace_hint) ->
             Some
@@ -310,7 +355,7 @@ and start_fiber t th =
             Some
               (fun k ->
                 settle t th (fun () ->
-                    if proc < 0 || proc >= Machine.nprocs t.machine then
+                    if not (in_slice t proc) then
                       Effect.Deep.discontinue k
                         (Invalid_argument (Printf.sprintf "migrate: no processor %d" proc))
                     else begin
@@ -335,9 +380,9 @@ and start_fiber t th =
                       (* The migration itself is cross-node traffic: the thread
                          (kernel stack and all) lands on [proc]'s queue. *)
                       Engine.post t.engine ~src:old ~dst:proc ~delay:lat (fun () ->
-                          Queue.add th.tid t.runqs.(proc);
-                          if not t.proc_active.(proc) then begin
-                            t.proc_active.(proc) <- true;
+                          Queue.add th.tid (runq t proc);
+                          if not (proc_busy t proc) then begin
+                            set_proc_busy t proc true;
                             dispatch t proc
                           end);
                       dispatch t old
@@ -467,9 +512,9 @@ and start_fiber t th =
     }
 
 and wake_fresh ?src t th =
-  Queue.add th.tid t.runqs.(th.proc);
-  if not t.proc_active.(th.proc) then begin
-    t.proc_active.(th.proc) <- true;
+  Queue.add th.tid (runq t th.proc);
+  if not (proc_busy t th.proc) then begin
+    set_proc_busy t th.proc true;
     let delay = (config t).Config.context_switch_ns in
     let src = match src with Some s -> s | None -> th.proc in
     Engine.post t.engine ~src ~dst:th.proc ~delay (fun () -> dispatch t th.proc)
@@ -485,8 +530,11 @@ let spawn t ?proc ?(aspace = 0) body =
   wake_fresh t th;
   th.tid
 
-let run_spawned t =
-  Engine.run t.engine;
+(* The failure/deadlock report, split out of [run_spawned] so a driver
+   that advances the engine some other way — hosted under [Shard], where
+   many per-node kernels share the window loop — can still get the same
+   end-of-run diagnostics. *)
+let post_run_checks t =
   (match t.failure with
   | Some e -> raise (Thread_failure e)
   | None -> ());
@@ -507,6 +555,10 @@ let run_spawned t =
     raise (Deadlock (String.concat ", " (List.map describe stuck)))
   end;
   t.finished_at
+
+let run_spawned t =
+  Engine.run t.engine;
+  post_run_checks t
 
 let run t ~main =
   ignore (spawn t ~proc:0 main);

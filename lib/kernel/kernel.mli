@@ -22,6 +22,7 @@ type t
 
 val create :
   ?coalesce:bool ->
+  ?slice:int * int ->
   engine:Platinum_sim.Engine.t ->
   machine:Platinum_machine.Machine.t ->
   memsys:Memsys.t ->
@@ -32,7 +33,14 @@ val create :
     {!Memsys.t.fastpath} ops: consecutive per-word accesses that hit the
     micro-ATC drain inline and are charged as one batched operation at the
     next suspension.  [false] forces every access through the per-effect
-    path (the differential-testing baseline). *)
+    path (the differential-testing baseline).
+
+    [slice] is [(base, count)]: the contiguous processor range this kernel
+    schedules.  The default is the whole machine.  A per-node kernel under
+    {!Platinum_sim.Shard.host} passes its own node's processors, so [n]
+    kernels over an [n]-node machine cost O(n) run queues in total, not
+    O(n²).  Placement, wakeups and migrations are confined to the slice
+    ([Invalid_argument] on a processor outside it). *)
 
 val engine : t -> Platinum_sim.Engine.t
 val machine : t -> Platinum_machine.Machine.t
@@ -56,6 +64,13 @@ val run : t -> main:(unit -> unit) -> Platinum_sim.Time_ns.t
 
 val run_spawned : t -> Platinum_sim.Time_ns.t
 (** Like {!run} for threads already created with {!spawn}. *)
+
+val post_run_checks : t -> Platinum_sim.Time_ns.t
+(** The end-of-run diagnostics of {!run}, without driving the engine:
+    raises {!Thread_failure} if any thread raised, {!Deadlock} if
+    unfinished threads remain, and otherwise returns the time the last
+    thread finished.  For drivers that advance the engine externally —
+    per-node kernels hosted under {!Platinum_sim.Shard.run_hosted}. *)
 
 val threads_created : t -> int
 val context_switches : t -> int

@@ -3,6 +3,26 @@ type advice =
   | Thaw
   | Home of int
 
+(* Asynchronous completion for distributed backends (DESIGN.md §4j): a
+   backend whose remote operations travel as protocol messages between
+   per-node engines cannot return a latency synchronously — the cost *is*
+   when the reply arrives.  [try_remote] either adopts the transaction
+   (returns [true]; [complete] will be invoked exactly once, from a later
+   engine event on the submitting node, with the result) or declines
+   (returns [false]; the kernel falls back to the synchronous [submit]).
+   [try_remote] must not call [complete] synchronously and must not
+   raise after adopting; validation errors are declined so [submit] can
+   raise them on the kernel's normal error path. *)
+type remote = {
+  try_remote :
+    now:int ->
+    proc:int ->
+    aspace:int ->
+    Platinum_core.Memtxn.t ->
+    complete:(Platinum_core.Memtxn.result -> unit) ->
+    bool;
+}
+
 type t = {
   page_words : int;
   submit : now:int -> proc:int -> aspace:int -> Platinum_core.Memtxn.t ->
@@ -19,6 +39,9 @@ type t = {
   fastpath : Fastpath.ops option;
       (* coalescing fast-path operations (DESIGN.md §4g); [None] = the
          backend only supports the full-suspend path *)
+  remote : remote option;
+      (* asynchronous remote completion; [None] = every transaction is
+         served synchronously by [submit] *)
 }
 
 (* Single-op conveniences over [submit], for tests and simple callers. *)

@@ -17,6 +17,26 @@ type advice =
   | Thaw  (** known phase change: let the next access replicate *)
   | Home of int  (** collapse to one copy on the given node *)
 
+type remote = {
+  try_remote :
+    now:int ->
+    proc:int ->
+    aspace:int ->
+    Platinum_core.Memtxn.t ->
+    complete:(Platinum_core.Memtxn.result -> unit) ->
+    bool;
+}
+(** Asynchronous completion for distributed backends (DESIGN.md §4j).
+    [try_remote] either adopts the transaction — returns [true], and
+    [complete] fires exactly once from a later engine event on the
+    submitting node's engine, carrying the result (the latency is
+    implicit in when that event fires) — or declines with [false], in
+    which case the kernel serves the transaction through the synchronous
+    [submit].  Adopting implies the calling thread blocks; [complete]
+    must never be invoked synchronously from inside [try_remote], and an
+    adopted transaction must not raise (backends decline anything whose
+    validation should fail, so [submit] raises it instead). *)
+
 type t = {
   page_words : int;  (** machine page size in 32-bit words *)
   submit : now:int -> proc:int -> aspace:int -> Platinum_core.Memtxn.t ->
@@ -45,6 +65,9 @@ type t = {
   fastpath : Fastpath.ops option;
       (** coalescing fast-path operations (DESIGN.md §4g); [None] = the
           backend only supports the full-suspend path *)
+  remote : remote option;
+      (** asynchronous remote completion ({!remote}); [None] = every
+          transaction is served synchronously by [submit] *)
 }
 
 (** Single-operation conveniences over [submit]. *)

@@ -196,6 +196,7 @@ let memsys t =
         Printf.sprintf "platinum coherent memory (policy %s)"
           (Coherent.policy coh).Platinum_core.Policy.name);
     fastpath;
+    remote = None;
   }
 
 let create coh root_aspace ?(default_zone_pages = 4096) () =

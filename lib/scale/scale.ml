@@ -478,7 +478,9 @@ let run ?check ?(shards = 1) ?(domains = 1) ?(inject_rate = 0.0) ?(seed = 42L)
     workload = workload_name workload;
     nodes = c.Config.nprocs;
     run_shards = Shard.shards sh;
-    run_domains = domains;
+    (* the effective width: [drive] clamps the pool to the shard count,
+       so a 1-shard run always reports 1 domain regardless of launch -j *)
+    run_domains = max 1 (min domains (Shard.shards sh));
     events = Shard.events_processed sh;
     windows = Shard.windows sh;
     clock = Shard.clock sh;

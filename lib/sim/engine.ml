@@ -134,3 +134,4 @@ let run_until t horizon =
 let events_processed t = t.processed
 let pending_events t = Eheap.size t.queue
 let is_empty t = t.normal_pending = 0
+let next_at t = if Eheap.is_empty t.queue then max_int else Eheap.min_time t.queue

@@ -39,13 +39,24 @@ val schedule_after :
 
 (** {2 Sharded façade}
 
-    Cross-node work (an IPI, an RPC message, a block-transfer completion)
-    goes through {!post}, which names the source and destination nodes.
-    By default [post] is {!schedule_after} on this engine's own queue —
-    the strictly sequential world, unchanged.  A sharded driver
-    ({!Shard}) installs a {!router} to carry such events into per-pair
-    mailboxes instead; shard count 1 installs no router, so the
-    single-shard schedule is byte-identical to the sequential one. *)
+    Cross-node work — an IPI, an RPC message, a block-transfer completion,
+    a kernel wakeup or thread migration landing on another node's
+    processor, a coherence protocol step for a page homed elsewhere — goes
+    through {!post}, which names the source and destination nodes.  By
+    default [post] is {!schedule_after} on this engine's own queue — the
+    strictly sequential world, unchanged.
+
+    Router-install lifecycle: exactly two drivers ever install a
+    {!router}, and both own the engine(s) for the whole run.
+    {!Shard.run} (the message-level mesh) keys events by source node and
+    carries them through per-pair mailboxes; {!Shard.host} does the same
+    for a group of per-node engines carrying full kernel simulations — it
+    installs a router on {e every} hosted engine at {!Shard.host} time so
+    that even setup-time posts take the deterministic mailbox path.  The
+    classic sequential entry points ({!run}, [Runner], a lone kernel on
+    one engine) install no router, and a router must be absent there: the
+    no-router schedule is the golden oracle that sharded runs are
+    measured against. *)
 
 type router = {
   route :
@@ -72,7 +83,10 @@ val post :
   unit
 (** Enqueue cross-node work from node [src] due at node [dst] after
     [delay].  Identical to {!schedule_after} unless a router is
-    installed. *)
+    installed.  This is the seam every cross-node effect must cross —
+    kernel scheduling traffic (wakeups, migrations) and coherence
+    protocol messages included — so that a sharded driver can reroute it
+    without the caller changing. *)
 
 val every : t -> ?daemon:bool -> period:Time_ns.t -> ?start:Time_ns.t -> (unit -> bool) -> unit
 (** Run a recurring event each [period]; the first firing is at [start]
@@ -101,3 +115,8 @@ val pending_events : t -> int
 
 val is_empty : t -> bool
 (** No non-daemon events pending. *)
+
+val next_at : t -> Time_ns.t
+(** Timestamp of the earliest pending event of any class, or [max_int]
+    when the queue is empty — the conservative floor a hosting driver
+    ({!Shard.host}) uses to cut time windows. *)

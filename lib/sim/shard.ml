@@ -315,30 +315,275 @@ let run_rounds t ~phase =
     end
   done
 
+(* Drive [rounds] with [nshards]-wide phases on [domains] domains: one
+   domain claims shards in order with no pool and no barriers; more spawn
+   a worker pool.  Shared by {!run} (message-level shards) and
+   {!run_hosted} (per-node engines) — the results are identical either
+   way, by the key contract. *)
+let drive ~domains ~nshards rounds =
+  if domains < 1 then invalid_arg "Shard: domains must be >= 1";
+  let ndomains = min domains nshards in
+  if ndomains = 1 then
+    rounds ~phase:(fun f ->
+        for i = 0 to nshards - 1 do
+          f i
+        done)
+  else begin
+    let pool = pool_create () in
+    let workers =
+      Array.init (ndomains - 1) (fun _ -> Domain.spawn (fun () -> worker pool ~nshards))
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set pool.stop true;
+        Array.iter Domain.join workers)
+      (fun () -> rounds ~phase:(leader_phase pool ~nshards))
+  end
+
 let run ?(domains = 1) t =
-  if domains < 1 then invalid_arg "Shard.run: domains must be >= 1";
   if t.running then invalid_arg "Shard.run: already running";
   t.running <- true;
-  let ndomains = min domains t.nshards in
   Fun.protect
     ~finally:(fun () -> t.running <- false)
-    (fun () ->
-      if ndomains = 1 then
-        (* One domain: the same rounds, claimed in shard order, no pool,
-           no barriers — and the same results, by the key contract. *)
-        run_rounds t ~phase:(fun f ->
-            for i = 0 to t.nshards - 1 do
-              f i
-            done)
-      else begin
-        let pool = pool_create () in
-        let workers =
-          Array.init (ndomains - 1) (fun _ ->
-              Domain.spawn (fun () -> worker pool ~nshards:t.nshards))
-        in
-        Fun.protect
-          ~finally:(fun () ->
-            Atomic.set pool.stop true;
-            Array.iter Domain.join workers)
-          (fun () -> run_rounds t ~phase:(leader_phase pool ~nshards:t.nshards))
-      end)
+    (fun () -> drive ~domains ~nshards:t.nshards (fun ~phase -> run_rounds t ~phase))
+
+(* ------------------------------------------------------------------ *)
+(* Hosted engines: full kernel simulations under the window protocol.   *)
+(* ------------------------------------------------------------------ *)
+
+(* The hosted mode runs one complete {!Engine.t} — typically carrying a
+   whole per-node kernel — per node, advanced under the same conservative
+   windows and domain pool as the message-level shards above.  The group
+   installs an {!Engine.router} on every hosted engine, so every
+   [Engine.post] with [dst <> self] — kernel wakeups, protocol messages,
+   block-transfer completions — crosses through a per-(shard,shard)
+   mailbox.
+
+   One deliberate difference from [Shard.post]: cross-node events take the
+   mailbox path even when src and dst share a shard (and even at shard
+   count 1).  A destination engine assigns its internal sequence numbers
+   as events arrive, so arrival order must be a pure function of the
+   workload: mailboxes are drained in global (time, key) order at window
+   boundaries, which is shard-count-independent, whereas a same-shard
+   shortcut would interleave arrivals with the destination's own
+   scheduling and make sequence assignment depend on the shard map.
+   Hosted runs are therefore byte-identical across every (shards,
+   domains) — including (1, 1) — but follow a different (equally valid)
+   schedule than the same kernels on one engine with no router; the
+   no-router sequential world remains the golden oracle and is untouched
+   by hosting. *)
+
+type hbox = {
+  mutable hb_at : int array;
+  mutable hb_key : int array;
+  mutable hb_dst : int array;
+  mutable hb_flags : int array;  (* bit 0 daemon, bit 1 deferred *)
+  mutable hb_fn : (unit -> unit) array;
+  mutable hb_len : int;
+}
+
+let hnothing () = ()
+
+let hbox_create () =
+  {
+    hb_at = Array.make 8 0;
+    hb_key = Array.make 8 0;
+    hb_dst = Array.make 8 0;
+    hb_flags = Array.make 8 0;
+    hb_fn = Array.make 8 hnothing;
+    hb_len = 0;
+  }
+
+let hbox_push b ~at ~key ~dst ~flags fn =
+  let n = b.hb_len in
+  if n = Array.length b.hb_at then begin
+    let cap = 2 * n in
+    let grow a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 n;
+      a'
+    in
+    b.hb_at <- grow b.hb_at 0;
+    b.hb_key <- grow b.hb_key 0;
+    b.hb_dst <- grow b.hb_dst 0;
+    b.hb_flags <- grow b.hb_flags 0;
+    b.hb_fn <- grow b.hb_fn hnothing
+  end;
+  b.hb_at.(n) <- at;
+  b.hb_key.(n) <- key;
+  b.hb_dst.(n) <- dst;
+  b.hb_flags.(n) <- flags;
+  b.hb_fn.(n) <- fn;
+  b.hb_len <- n + 1
+
+type hosted = {
+  h_engines : Engine.t array;
+  h_nshards : int;
+  h_lookahead : Time_ns.t;
+  h_check : bool;
+  h_node_shard : int array;
+  h_node_seq : int array;  (* single-writer: the node's own events *)
+  h_shard_nodes : int array array;  (* shard -> its nodes, ascending *)
+  h_boxes : hbox array;  (* (src shard * nshards) + dst shard *)
+  mutable h_windows : int;
+  mutable h_ran : bool;
+}
+
+(* The router for hosted engine [node]: self-posts keep their engine-local
+   schedule; anything else draws a key from the node's counter and rides a
+   mailbox.  Only [node]'s own events (or pre-run setup, which is
+   single-domain) may reach this — the same single-writer rule as
+   {!schedule}. *)
+let hosted_route h ~node ~dst ~daemon ~deferred ~delay fn =
+  let e = h.h_engines.(node) in
+  if dst = node then Engine.schedule_after e ~daemon ~deferred ~delay fn
+  else begin
+    if dst < 0 || dst >= Array.length h.h_engines then
+      invalid_arg (Printf.sprintf "Shard.host: post to unknown node %d" dst);
+    if delay < h.h_lookahead then
+      invalid_arg
+        (Printf.sprintf "Shard.host: cross-node delay %d below lookahead %d" delay
+           h.h_lookahead);
+    let seq = h.h_node_seq.(node) in
+    if seq > max_node_seq then invalid_arg "Shard.host: per-node sequence overflow";
+    h.h_node_seq.(node) <- seq + 1;
+    let key = (node lsl node_seq_bits) lor seq in
+    let at = Engine.now e + delay in
+    let flags = (if daemon then 1 else 0) lor if deferred then 2 else 0 in
+    hbox_push
+      h.h_boxes.((h.h_node_shard.(node) * h.h_nshards) + h.h_node_shard.(dst))
+      ~at ~key ~dst ~flags fn
+  end
+
+let host ?check ~shards ~lookahead engines =
+  let nodes = Array.length engines in
+  if nodes < 1 then invalid_arg "Shard.host: need at least one engine";
+  if shards < 1 then invalid_arg "Shard.host: shards must be >= 1";
+  if lookahead < 1 then invalid_arg "Shard.host: lookahead must be >= 1";
+  Array.iter
+    (fun e ->
+      if Engine.router e <> None then
+        invalid_arg "Shard.host: an engine already has a router")
+    engines;
+  let check =
+    match check with
+    | Some b -> b
+    | None -> ( match Sys.getenv_opt "PLATINUM_CHECK" with Some "1" -> true | _ -> false)
+  in
+  let nshards = min shards nodes in
+  let node_shard = Array.init nodes (fun n -> n * nshards / nodes) in
+  let shard_nodes =
+    Array.init nshards (fun sid ->
+        let sel = ref [] in
+        for n = nodes - 1 downto 0 do
+          if node_shard.(n) = sid then sel := n :: !sel
+        done;
+        Array.of_list !sel)
+  in
+  let h =
+    {
+      h_engines = Array.copy engines;
+      h_nshards = nshards;
+      h_lookahead = lookahead;
+      h_check = check;
+      h_node_shard = node_shard;
+      h_node_seq = Array.make nodes 0;
+      h_shard_nodes = shard_nodes;
+      h_boxes = Array.init (nshards * nshards) (fun _ -> hbox_create ());
+      h_windows = 0;
+      h_ran = false;
+    }
+  in
+  Array.iteri
+    (fun node e ->
+      Engine.set_router e
+        (Some
+           {
+             Engine.route =
+               (fun ~src:_ ~dst ~daemon ~deferred ~delay fn ->
+                 hosted_route h ~node ~dst ~daemon ~deferred ~delay fn);
+           }))
+    engines;
+  h
+
+let hosted_nodes h = Array.length h.h_engines
+let hosted_shards h = h.h_nshards
+let hosted_windows h = h.h_windows
+let hosted_shard_of_node h node = h.h_node_shard.(node)
+
+let hosted_events h =
+  Array.fold_left (fun acc e -> acc + Engine.events_processed e) 0 h.h_engines
+
+let hosted_clock h = Array.fold_left (fun acc e -> max acc (Engine.now e)) 0 h.h_engines
+
+(* Deliver shard [sid]'s incoming mail.  Entries are merged across all
+   source shards and sorted by (time, key) before insertion, so each
+   destination engine assigns its internal sequence numbers in an order
+   that is a pure function of the workload — the crux of hosted
+   determinism (see the header above). *)
+let hosted_drain h sid =
+  let n = h.h_nshards in
+  let total = ref 0 in
+  for src = 0 to n - 1 do
+    total := !total + h.h_boxes.((src * n) + sid).hb_len
+  done;
+  if !total > 0 then begin
+    let batch = Array.make !total (0, 0, 0, 0, hnothing) in
+    let w = ref 0 in
+    for src = 0 to n - 1 do
+      let b = h.h_boxes.((src * n) + sid) in
+      for i = 0 to b.hb_len - 1 do
+        batch.(!w) <- (b.hb_at.(i), b.hb_key.(i), b.hb_dst.(i), b.hb_flags.(i), b.hb_fn.(i));
+        incr w;
+        b.hb_fn.(i) <- hnothing
+      done;
+      b.hb_len <- 0
+    done;
+    Array.sort
+      (fun (at1, k1, _, _, _) (at2, k2, _, _, _) ->
+        if at1 <> at2 then compare at1 at2 else compare k1 k2)
+      batch;
+    Array.iter
+      (fun (at, _, dst, flags, fn) ->
+        let e = h.h_engines.(dst) in
+        if h.h_check && at < Engine.now e then
+          failwith
+            (Printf.sprintf
+               "Shard.host check: mailbox delivery at %d before node %d clock %d (window \
+                violation)"
+               at dst (Engine.now e));
+        Engine.schedule_at e ~daemon:(flags land 1 <> 0) ~deferred:(flags land 2 <> 0)
+          ~at fn)
+      batch
+  end
+
+let hosted_min h =
+  Array.fold_left (fun acc e -> min acc (Engine.next_at e)) max_int h.h_engines
+
+let hosted_alive h = Array.exists (fun e -> not (Engine.is_empty e)) h.h_engines
+
+let hosted_rounds h ~phase =
+  (* Round 0 folds in anything posted during setup. *)
+  phase (fun sid -> hosted_drain h sid);
+  let continue = ref (hosted_alive h) in
+  while !continue do
+    let m = hosted_min h in
+    if m = max_int then continue := false
+    else begin
+      let window_end = m + h.h_lookahead in
+      h.h_windows <- h.h_windows + 1;
+      phase (fun sid ->
+          let mine = h.h_shard_nodes.(sid) in
+          for i = 0 to Array.length mine - 1 do
+            (* run_until is inclusive; windows are [m, window_end). *)
+            Engine.run_until h.h_engines.(mine.(i)) (window_end - 1)
+          done);
+      phase (fun sid -> hosted_drain h sid);
+      continue := hosted_alive h
+    end
+  done
+
+let run_hosted ?(domains = 1) h =
+  if h.h_ran then invalid_arg "Shard.run_hosted: already ran";
+  h.h_ran <- true;
+  drive ~domains ~nshards:h.h_nshards (fun ~phase -> hosted_rounds h ~phase)

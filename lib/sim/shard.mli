@@ -2,6 +2,17 @@
     per-node-cluster shards advanced in parallel by OCaml 5 domains under
     conservative time-window synchronization.
 
+    Two modes share the window protocol and the domain pool.  The
+    {e message-level} mode ({!create}/{!run}) keeps one event heap per
+    shard — the transport for the [Scale] mesh workloads.  The {e hosted}
+    mode ({!host}/{!run_hosted}) advances one full {!Engine.t} per node —
+    each carrying a complete kernel simulation with its own run-queue
+    slice, coherence partition and fault sub-plane — and routes every
+    cross-node [Engine.post] (kernel wakeups and migrations, invalidation
+    IPIs, copy-block transfers, RPC, remote reads) through the per-pair
+    mailboxes.  Kernel traffic is first-class here, not just scale
+    workloads.
+
     Every event carries the key [(time, src_node, src_seq)]; each shard
     executes its events in strict key order; cross-shard events travel
     through per-pair mailboxes and merge by key at window boundaries.  The
@@ -68,3 +79,55 @@ val windows : t -> int
 
 val clock : t -> Time_ns.t
 (** The latest shard clock (after {!run}: the common final time). *)
+
+(** {2 Hosted engines: kernel simulations under the window protocol}
+
+    [host ~shards ~lookahead engines] groups [Array.length engines]
+    per-node engines (node [i] is [engines.(i)]) into [shards] shards and
+    installs an {!Engine.router} on every one of them — this is the one
+    place in the system that installs routers, and it owns the engines
+    until {!run_hosted} returns.  From that moment every
+    [Engine.post ~dst] with [dst] different from the posting node draws a
+    key from the node's single-writer counter and crosses through a
+    mailbox; self-posts stay engine-local.  Posts must respect the
+    lookahead, exactly as {!post} does.
+
+    Unlike {!post}, cross-node events take the mailbox path {e even on
+    the same shard} (and even at shard count 1): destination engines
+    assign internal sequence numbers on arrival, so arrival order must be
+    a pure function of the workload — mailboxes drain in global
+    (time, key) order at window boundaries, which no shard map can
+    perturb.  A hosted run is therefore byte-identical at any
+    (shards, domains), but follows a different (equally valid) schedule
+    than the same kernels on an engine with no router; the no-router
+    sequential run remains the golden oracle, and nothing in hosting
+    touches it. *)
+
+type hosted
+
+val host : ?check:bool -> shards:int -> lookahead:Time_ns.t -> Engine.t array -> hosted
+(** Group the engines and install their routers.  [check] arms the
+    window-invariant self-checks (default: the [PLATINUM_CHECK=1]
+    environment variable); because every hosted node's state is touched
+    only by its own engine's events, monitor sweeps are shard-local by
+    construction — that is the pinned monitor strategy (DESIGN.md §4j).
+    Raises [Invalid_argument] if any engine already has a router. *)
+
+val run_hosted : ?domains:int -> hosted -> unit
+(** Advance windows until no hosted engine has a non-daemon event pending
+    and every mailbox is empty.  [domains = 1] (the default) drives every
+    shard on the calling domain; larger counts spawn a worker pool.  The
+    result is identical either way.  A hosted group can run once. *)
+
+val hosted_nodes : hosted -> int
+val hosted_shards : hosted -> int
+val hosted_shard_of_node : hosted -> int -> int
+val hosted_windows : hosted -> int
+(** Synchronization windows taken. *)
+
+val hosted_events : hosted -> int
+(** Events executed across all hosted engines. *)
+
+val hosted_clock : hosted -> Time_ns.t
+(** The latest hosted-engine clock (after {!run_hosted}: the common final
+    time). *)

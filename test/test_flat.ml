@@ -399,8 +399,153 @@ let prop_cmap_differential =
         ops;
       true)
 
+(* --- property 3: the chunked representation at its seams (PR 10) ---
+
+   The dense prefix is now a two-level chunked table (4096-entry chunks on
+   first touch).  This property drives random operation streams through a
+   key universe concentrated on the seams — both sides of every chunk
+   boundary, the dense/spill boundary at [dense_limit], and keys in
+   chunks that are never touched at all — against a plain hash-table
+   model, sweeping the whole universe after every step. *)
+
+let seam_keys =
+  let cs = Flat.chunk_size in
+  [|
+    0;
+    1;
+    cs - 1;
+    cs;
+    cs + 1;
+    (2 * cs) - 1;
+    2 * cs;
+    (5 * cs) + 7;
+    (29 * cs) - 1;
+    29 * cs;
+    Flat.dense_limit - cs;
+    Flat.dense_limit - 1;
+    Flat.dense_limit;
+    Flat.dense_limit + 3;
+    (2 * Flat.dense_limit) + 1;
+  |]
+
+type fop =
+  | Fset of int * int  (* key index, value *)
+  | Fremove of int
+  | Fremove_untouched of int  (* remove in a chunk nothing was written to *)
+  | Fclear
+
+let fop_gen =
+  let open QCheck.Gen in
+  let ki = int_bound (Array.length seam_keys - 1) in
+  frequency
+    [
+      (8, map2 (fun k v -> Fset (k, v)) ki (int_bound 10_000));
+      (4, map (fun k -> Fremove k) ki);
+      (2, map (fun k -> Fremove_untouched k) ki);
+      (1, return Fclear);
+    ]
+
+let pp_fop = function
+  | Fset (k, v) -> Printf.sprintf "set %d=%d" seam_keys.(k) v
+  | Fremove k -> Printf.sprintf "remove %d" seam_keys.(k)
+  | Fremove_untouched k -> Printf.sprintf "remove-untouched %d" seam_keys.(k)
+  | Fclear -> "clear"
+
+let fops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_fop ops))
+    QCheck.Gen.(list_size (int_range 1 200) fop_gen)
+
+(* An untouched-chunk key: same chunk-relative offset, in a chunk the
+   seam universe never writes (chunk 97). *)
+let untouched_key k = (97 * Flat.chunk_size) + (seam_keys.(k) land Flat.chunk_mask)
+
+let check_flat_agreement (fl : int Flat.t) (model : (int, int) Hashtbl.t) =
+  if Flat.length fl <> Hashtbl.length model then
+    QCheck.Test.fail_reportf "length %d vs model %d" (Flat.length fl) (Hashtbl.length model);
+  Array.iter
+    (fun k ->
+      (match Flat.find fl k, Hashtbl.find_opt model k with
+      | None, None -> ()
+      | Some a, Some b when a = b -> ()
+      | _ -> QCheck.Test.fail_reportf "find disagrees at key %d" k);
+      if Flat.mem fl k <> Hashtbl.mem model k then
+        QCheck.Test.fail_reportf "mem disagrees at key %d" k;
+      let u = (97 * Flat.chunk_size) + (k land Flat.chunk_mask) in
+      if Flat.mem fl u && not (Hashtbl.mem model u) then
+        QCheck.Test.fail_reportf "phantom binding in untouched chunk at %d" u)
+    seam_keys;
+  (* iter must visit exactly the model's bindings, dense keys ascending *)
+  let seen = ref [] in
+  Flat.iter (fun k v -> seen := (k, v) :: !seen) fl;
+  let got = List.sort compare !seen in
+  let want = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []) in
+  if got <> want then QCheck.Test.fail_reportf "iter bindings disagree with model"
+
+let prop_chunk_seams_differential =
+  QCheck.Test.make ~name:"chunked Flat vs hash-table model at the chunk seams"
+    ~count:300 fops_arb (fun ops ->
+      let fl = Flat.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          (match op with
+          | Fset (k, v) ->
+            Flat.set fl seam_keys.(k) v;
+            Hashtbl.replace model seam_keys.(k) v
+          | Fremove k ->
+            Flat.remove fl seam_keys.(k);
+            Hashtbl.remove model seam_keys.(k)
+          | Fremove_untouched k ->
+            (* removing where no chunk exists must be a no-op, not an
+               allocation of the chunk *)
+            let before = Flat.chunk_count fl in
+            Flat.remove fl (untouched_key k);
+            Hashtbl.remove model (untouched_key k);
+            if Flat.chunk_count fl <> before then
+              QCheck.Test.fail_reportf "remove allocated directory space in an untouched chunk"
+          | Fclear ->
+            Flat.clear fl;
+            Hashtbl.reset model);
+          check_flat_agreement fl model)
+        ops;
+      true)
+
+(* --- the zero-allocation gate on chunked steady-state hits ---
+
+   A mapped probe — dense chunk hit or spill hit — must allocate nothing
+   on the minor heap: the hot path returns the stored option cell.  This
+   is the same contract the §4h AST lint pins structurally; here we pin it
+   behaviourally, across chunk and spill keys. *)
+
+let test_steady_hits_allocate_nothing () =
+  let fl = Flat.create () in
+  Array.iteri (fun i k -> Flat.set fl k (i * 3)) seam_keys;
+  (* warm up: fault in any lazy structure and the loop's own closure *)
+  let probe () =
+    let acc = ref 0 in
+    for round = 1 to 100 do
+      ignore round;
+      for i = 0 to Array.length seam_keys - 1 do
+        let k = Array.unsafe_get seam_keys i in
+        (match Flat.find fl k with Some v -> acc := !acc + v | None -> acc := !acc - 1);
+        if Flat.mem fl k then incr acc
+      done
+    done;
+    !acc
+  in
+  let warm = probe () in
+  let before = Gc.minor_words () in
+  let hot = probe () in
+  let after = Gc.minor_words () in
+  Alcotest.(check int) "probe result stable" warm hot;
+  Alcotest.(check (float 0.0))
+    "steady-state hits allocate 0 minor words" 0.0 (after -. before)
+
 let suite =
   [
     qtest prop_pmap_atc_differential;
     qtest prop_cmap_differential;
+    qtest prop_chunk_seams_differential;
+    ("flat: chunked steady hits allocate nothing", `Quick, test_steady_hits_allocate_nothing);
   ]

@@ -159,6 +159,93 @@ let test_hierarchical_topology_visible () =
   Alcotest.(check bool) "cross surcharge raises mean latency" true
     (r.Scale.avg_latency_ns > rf.Scale.avg_latency_ns)
 
+(* --- the hosted kernel: full per-node kernel simulations under Shard ---
+
+   Same contract, harder cargo: Parkernel runs one complete Kernel.t per
+   node with the coherence protocol decomposed into mailbox messages
+   (DESIGN.md §4j).  The fingerprint covers every node's counters, engine
+   history, module statistics, fault plane and home-page contents — pinned
+   across the same shards x domains grid, clean and at 2% injection, with
+   the window monitors armed (shard-local sweeps: each node's state is
+   touched only by its own engine's events). *)
+
+module Parkernel = Platinum_scale.Parkernel
+
+let kernel_config = Config.hierarchical ~cluster_size:4 ~nodes:8 ()
+
+let kernel_grid ?(inject_rate = 0.0) workload =
+  List.concat_map
+    (fun shards ->
+      List.map
+        (fun domains ->
+          let r =
+            Parkernel.run ~check:true ~shards ~domains ~inject_rate ~seed:7L
+              ~iters:4 ~ops_per_node:12 ~width:64 ~config:kernel_config workload
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s s=%d d=%d verified against the oracle"
+               r.Parkernel.workload shards domains)
+            true r.Parkernel.verified;
+          Printf.sprintf "%s events=%d windows=%d clock=%d fp=%s"
+            r.Parkernel.workload r.Parkernel.events r.Parkernel.windows
+            r.Parkernel.clock r.Parkernel.fingerprint)
+        domain_counts)
+    shard_counts
+
+let test_kernel_deterministic workload () =
+  kernel_grid workload
+  |> check_grid_identical "kernel fingerprint identical across shards x domains"
+
+let test_kernel_deterministic_injected workload () =
+  kernel_grid ~inject_rate:0.02 workload
+  |> check_grid_identical "kernel fingerprint identical under 2% fault injection"
+
+let test_kernel_injection_bites () =
+  (* the injected grid must not degenerate to the clean one *)
+  let r =
+    Parkernel.run ~check:true ~inject_rate:0.02 ~seed:7L ~iters:4 ~ops_per_node:12
+      ~width:64 ~config:kernel_config Parkernel.Jacobi
+  in
+  Alcotest.(check bool) "faults injected" true (r.Parkernel.faults > 0);
+  let clean =
+    Parkernel.run ~check:true ~seed:7L ~iters:4 ~ops_per_node:12 ~width:64
+      ~config:kernel_config Parkernel.Jacobi
+  in
+  Alcotest.(check bool) "injection perturbs the kernel run" true
+    (r.Parkernel.fingerprint <> clean.Parkernel.fingerprint)
+
+let test_kernel_protocol_exercised () =
+  let j =
+    Parkernel.run ~check:true ~seed:7L ~iters:4 ~width:64 ~config:kernel_config
+      Parkernel.Jacobi
+  in
+  Alcotest.(check bool) "jacobi replicates pages" true (j.Parkernel.replications > 0);
+  Alcotest.(check bool) "jacobi shoots down replicas" true (j.Parkernel.shootdowns > 0);
+  Alcotest.(check bool) "shootdowns send IPIs" true
+    (j.Parkernel.ipis >= j.Parkernel.shootdowns);
+  let e =
+    Parkernel.run ~check:true ~seed:7L ~ops_per_node:12 ~config:kernel_config
+      Parkernel.Rpc_echo
+  in
+  Alcotest.(check int) "echo completes every round trip" (4 * 12) e.Parkernel.rpcs
+
+let test_kernel_gb_span_sparse () =
+  (* a 2^27-word address span must cost only the touched footprint and
+     set up fast — the chunked-table contract *)
+  let t0 = Sys.time () in
+  let r =
+    Parkernel.run ~check:true ~shards:4 ~domains:2 ~iters:2 ~width:64
+      ~span_words:(1 lsl 27) ~config:kernel_config Parkernel.Jacobi
+  in
+  let setup_ms = (Sys.time () -. t0) *. 1000. in
+  Alcotest.(check bool) "span covers 2^27 words" true (r.Parkernel.span_words >= 1 lsl 27);
+  Alcotest.(check bool) "verified at GB span" true r.Parkernel.verified;
+  Alcotest.(check bool)
+    (Printf.sprintf "touched pages stay proportional to rows (%d)" r.Parkernel.touched_pages)
+    true
+    (r.Parkernel.touched_pages <= 8 + 4);
+  Alcotest.(check bool) (Printf.sprintf "setup under 100ms (%.1f)" setup_ms) true (setup_ms < 100.)
+
 let suite =
   let det w =
     ( Printf.sprintf "golden: %s fingerprint across shards x domains"
@@ -184,4 +271,23 @@ let suite =
       ("scale: injection exercises recovery", `Quick, test_injection_exercises_recovery);
       ("scale: injection perturbs the run", `Quick, test_clean_vs_injected_differ);
       ("scale: topology visible in traffic", `Quick, test_hierarchical_topology_visible);
+    ]
+  @ List.map
+      (fun w ->
+        ( Printf.sprintf "golden: kernel %s fingerprint across shards x domains"
+            (Parkernel.workload_name w),
+          `Quick,
+          test_kernel_deterministic w ))
+      Parkernel.all_workloads
+  @ List.map
+      (fun w ->
+        ( Printf.sprintf "golden: kernel %s fingerprint under 2%% injection"
+            (Parkernel.workload_name w),
+          `Quick,
+          test_kernel_deterministic_injected w ))
+      [ Parkernel.Jacobi; Parkernel.Rpc_echo ]
+  @ [
+      ("kernel: injection perturbs the hosted run", `Quick, test_kernel_injection_bites);
+      ("kernel: coherence protocol exercised", `Quick, test_kernel_protocol_exercised);
+      ("kernel: GB-span address space stays sparse", `Quick, test_kernel_gb_span_sparse);
     ]
